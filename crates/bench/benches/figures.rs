@@ -1,0 +1,107 @@
+//! One Criterion bench per paper table/figure: each regenerates a
+//! scaled-down version of the corresponding experiment (same code paths
+//! as the `repro` binary, smaller parameters) so `cargo bench` exercises
+//! every reproduction end to end and tracks its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shs_harness::{
+    run_admission, run_comm, table1, CommConfig, Metric, Pattern,
+};
+use shs_mpi::OsuParams;
+
+fn tiny_comm(_metric: Metric) -> CommConfig {
+    CommConfig {
+        osu: OsuParams {
+            sizes: vec![8, 4096, 1 << 18],
+            iterations: 10,
+            warmup: 2,
+            window: 16,
+        },
+        runs: 2,
+        seed: 7,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(table1::render())));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_bw", |b| {
+        b.iter(|| black_box(run_comm(Metric::Bandwidth, &tiny_comm(Metric::Bandwidth))))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_bw_overhead", |b| {
+        b.iter(|| {
+            let res = run_comm(Metric::Bandwidth, &tiny_comm(Metric::Bandwidth));
+            black_box(res.overhead_of("vni:true"))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_latency", |b| {
+        b.iter(|| black_box(run_comm(Metric::Latency, &tiny_comm(Metric::Latency))))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_latency_overhead", |b| {
+        b.iter(|| {
+            let res = run_comm(Metric::Latency, &tiny_comm(Metric::Latency));
+            black_box(res.overhead_of("vni:false"))
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // The ramp experiment dominates its own runtime; benchmark a short
+    // synthetic spike as the admission-pipeline proxy for the ramp too.
+    c.bench_function("fig9_ramp", |b| {
+        b.iter(|| black_box(run_admission(Pattern::Spike { jobs: 20 }, true, 3, 60)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_ramp_delay", |b| {
+        b.iter(|| {
+            let run = run_admission(Pattern::Spike { jobs: 20 }, false, 4, 60);
+            let delays: Vec<f64> =
+                run.jobs.iter().filter_map(|j| j.admission_delay_s()).collect();
+            black_box(delays)
+        })
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_spike", |b| {
+        b.iter(|| black_box(run_admission(Pattern::Spike { jobs: 40 }, true, 5, 120)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_boxplots", |b| {
+        b.iter(|| {
+            let w = run_admission(Pattern::Spike { jobs: 20 }, true, 6, 60);
+            let wo = run_admission(Pattern::Spike { jobs: 20 }, false, 6, 60);
+            let dw: Vec<f64> = w.jobs.iter().filter_map(|j| j.admission_delay_s()).collect();
+            let dwo: Vec<f64> = wo.jobs.iter().filter_map(|j| j.admission_delay_s()).collect();
+            black_box((
+                shs_des::stats::Boxplot::from(&dw),
+                shs_des::stats::Boxplot::from(&dwo),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_table1, bench_fig5, bench_fig6, bench_fig7, bench_fig8,
+              bench_fig9, bench_fig10, bench_fig11, bench_fig12
+}
+criterion_main!(figures);

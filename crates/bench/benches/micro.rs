@@ -1,0 +1,177 @@
+//! Micro-benchmarks of the stack's hot and security-critical paths:
+//! the authenticated endpoint-creation path (the paper's §III-A member
+//! check), VNI database transactions, fabric forwarding, and the
+//! decorator-controller webhook round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shs_cassini::{CassiniNic, CassiniParams};
+use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc, SvcMember};
+use shs_des::{DetRng, SimTime};
+use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
+use shs_oslinux::{Gid, Host, NetNsId, Pid, Uid};
+use shs_vnistore::{Store, StoreConfig};
+use slingshot_k8s::{VniDb, VniDbConfig, VniOwner};
+
+fn bench_ep_alloc_auth(c: &mut Criterion) {
+    // The §III-A member check: netns vs uid member types.
+    let mut group = c.benchmark_group("ep_alloc_auth");
+    for (name, member_is_netns) in [("netns_member", true), ("uid_member", false)] {
+        let mut host = Host::new("n0");
+        let mut dev = CxiDevice::new(
+            CxiDriver::extended(),
+            CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(1)),
+        );
+        let root = host.credentials(Pid(1)).unwrap();
+        let app = host.spawn_detached("app", Uid(1000), Gid(1000));
+        let netns = host.unshare_net_ns(app).unwrap();
+        let member = if member_is_netns {
+            SvcMember::NetNs(netns)
+        } else {
+            SvcMember::Uid(Uid(1000))
+        };
+        dev.alloc_svc(
+            &root,
+            CxiServiceDesc {
+                members: vec![member],
+                vnis: vec![Vni(100)],
+                limits: Default::default(),
+                label: "bench".into(),
+            },
+        )
+        .unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ep = dev
+                    .ep_alloc(&host, app, Vni(100), TrafficClass::Dedicated)
+                    .expect("authenticates");
+                dev.ep_free(ep).expect("frees");
+                black_box(ep)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vni_db_txn(c: &mut Criterion) {
+    c.bench_function("vni_db_acquire_release", |b| {
+        let mut db = VniDb::new(VniDbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let owner = VniOwner::Job { key: format!("ns/j{i}") };
+            i += 1;
+            let vni = db.acquire(owner, SimTime::ZERO).expect("capacity");
+            db.release(vni, SimTime::ZERO).expect("release");
+            black_box(vni)
+        })
+    });
+}
+
+fn bench_store_commit(c: &mut Criterion) {
+    c.bench_function("store_txn_commit", |b| {
+        let mut store = Store::new(StoreConfig { snapshot_every: None });
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut txn = store.begin();
+            txn.put("vnis", &i.to_be_bytes(), b"row");
+            i += 1;
+            black_box(txn.commit())
+        })
+    });
+}
+
+fn bench_fabric_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_transfer");
+    for (name, len) in [("64B", 64u64), ("1MB", 1 << 20)] {
+        let mut fabric = Fabric::new(4);
+        fabric.attach(NicAddr(1));
+        fabric.attach(NicAddr(2));
+        fabric.grant_vni(NicAddr(1), Vni(1));
+        fabric.grant_vni(NicAddr(2), Vni(1));
+        let mut now = SimTime::ZERO;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = fabric.transfer(
+                    now,
+                    NicAddr(1),
+                    NicAddr(2),
+                    Vni(1),
+                    TrafficClass::Dedicated,
+                    len,
+                    1,
+                );
+                now += shs_des::SimDur::from_micros(100);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nic_send(c: &mut Criterion) {
+    c.bench_function("nic_send_small", |b| {
+        let mut fabric = Fabric::new(4);
+        let mut nic = CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(2));
+        fabric.attach(NicAddr(1));
+        fabric.attach(NicAddr(2));
+        fabric.grant_vni(NicAddr(1), Vni(1));
+        fabric.grant_vni(NicAddr(2), Vni(1));
+        nic.configure_service(shs_cassini::ServiceEntry {
+            id: shs_cassini::SvcId(1),
+            vnis: vec![Vni(1)],
+            limits: Default::default(),
+            enabled: true,
+        });
+        let ep = nic
+            .alloc_endpoint(shs_cassini::SvcId(1), Vni(1), TrafficClass::Dedicated)
+            .unwrap();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let out = nic.send(now, &mut fabric, ep, NicAddr(2), shs_cassini::EpIdx(0), 0, 8);
+            now += shs_des::SimDur::from_micros(10);
+            black_box(out)
+        })
+    });
+}
+
+fn bench_netns_lookup(c: &mut Criterion) {
+    // The procfs netns-inode extraction the extended driver performs.
+    c.bench_function("proc_netns_inode", |b| {
+        let mut host = Host::new("n0");
+        let pid = host.spawn_detached("app", Uid(1), Gid(1));
+        host.unshare_net_ns(pid).unwrap();
+        b.iter(|| black_box(host.proc_netns_inode(pid).unwrap()))
+    });
+}
+
+fn bench_switch_forward_denied(c: &mut Criterion) {
+    // Cost of the enforcement fast-path that drops cross-tenant packets.
+    c.bench_function("switch_forward_denied", |b| {
+        let mut fabric = Fabric::new(4);
+        fabric.attach(NicAddr(1));
+        fabric.attach(NicAddr(2));
+        // No grants: every transfer is denied at ingress.
+        b.iter(|| {
+            black_box(fabric.transfer(
+                SimTime::ZERO,
+                NicAddr(1),
+                NicAddr(2),
+                Vni(9),
+                TrafficClass::Dedicated,
+                64,
+                1,
+            ))
+        })
+    });
+    let _ = NetNsId(0);
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_store_commit,
+              bench_fabric_transfer, bench_nic_send, bench_netns_lookup,
+              bench_switch_forward_denied
+}
+criterion_main!(micro);

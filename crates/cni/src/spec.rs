@@ -1,0 +1,236 @@
+//! Container Network Interface (CNI) specification types.
+//!
+//! Follows the CNI spec the paper's plugin implements against
+//! ([6] in the paper): network configuration lists in JSON, the
+//! ADD/DEL/CHECK verbs, structured results, and numbered error codes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use shs_oslinux::NetNsId;
+
+/// Supported CNI spec versions.
+pub const SUPPORTED_VERSIONS: [&str; 3] = ["0.4.0", "1.0.0", "1.1.0"];
+
+/// CNI operations ("commands").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CniCommand {
+    /// Add the container to the network(s).
+    Add,
+    /// Remove the container from the network(s).
+    Del,
+    /// Verify the container's networking is as expected.
+    Check,
+}
+
+/// One plugin's network configuration (an entry in a conflist).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PluginConf {
+    /// Plugin binary/type name (e.g. `"bridge"`, `"cxi"`).
+    #[serde(rename = "type")]
+    pub plugin_type: String,
+    /// Plugin-specific keys, kept verbatim.
+    #[serde(flatten)]
+    pub extra: BTreeMap<String, serde_json::Value>,
+}
+
+/// A network configuration list (`*.conflist`), the unit the container
+/// runtime hands to libcni. The paper's CXI plugin is deployed as a
+/// *chained* entry after the primary plugin (§III-B).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct NetworkConfList {
+    /// Spec version.
+    #[serde(rename = "cniVersion")]
+    pub cni_version: String,
+    /// Network name.
+    pub name: String,
+    /// Ordered plugin chain.
+    pub plugins: Vec<PluginConf>,
+}
+
+impl NetworkConfList {
+    /// Parse and validate a conflist JSON document.
+    pub fn parse(json: &str) -> Result<NetworkConfList, CniError> {
+        let conf: NetworkConfList = serde_json::from_str(json)
+            .map_err(|e| CniError::decoding(format!("invalid conflist: {e}")))?;
+        if !SUPPORTED_VERSIONS.contains(&conf.cni_version.as_str()) {
+            return Err(CniError::incompatible_version(&conf.cni_version));
+        }
+        if conf.plugins.is_empty() {
+            return Err(CniError::invalid_config("empty plugin list"));
+        }
+        Ok(conf)
+    }
+}
+
+/// Pod identity passed by Kubernetes runtimes via CNI args
+/// (`K8S_POD_NAMESPACE` etc.). The paper's plugin uses this to query the
+/// management plane for annotations (§III-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PodRef {
+    /// Kubernetes namespace.
+    pub namespace: String,
+    /// Pod name.
+    pub name: String,
+    /// Pod UID.
+    pub uid: String,
+}
+
+/// Invocation arguments (the CNI "runtime parameters").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CniArgs {
+    /// Container id (sandbox id).
+    pub container_id: String,
+    /// The container's network namespace (inode; a path in real CNI).
+    pub netns: NetNsId,
+    /// Interface name to configure inside the container.
+    pub ifname: String,
+    /// Pod identity, when invoked by a Kubernetes runtime.
+    pub pod: Option<PodRef>,
+}
+
+/// A configured interface in a result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Network namespace it lives in (`""` = host).
+    pub sandbox: String,
+}
+
+/// An assigned IP in a result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpConfig {
+    /// CIDR address, e.g. `10.42.0.5/24`.
+    pub address: String,
+    /// Index into the result's interface list.
+    pub interface: usize,
+}
+
+/// A structured CNI result, passed down the chain as `prevResult`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CniResult {
+    /// Interfaces created/configured so far.
+    pub interfaces: Vec<Interface>,
+    /// IPs assigned so far.
+    pub ips: Vec<IpConfig>,
+    /// Plugin-specific extension data (the CXI plugin records the CXI
+    /// service id and VNI here for diagnostics).
+    #[serde(default)]
+    pub extensions: BTreeMap<String, serde_json::Value>,
+}
+
+/// CNI error with spec-defined numeric codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CniError {
+    /// Spec error code (1-99 reserved by the spec, 100+ plugin-specific).
+    pub code: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CniError {
+    /// Code 1: incompatible CNI version.
+    pub fn incompatible_version(v: &str) -> Self {
+        CniError { code: 1, msg: format!("incompatible CNI version {v}") }
+    }
+    /// Code 4: invalid network config.
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        CniError { code: 4, msg: msg.into() }
+    }
+    /// Code 6: failed to decode content.
+    pub fn decoding(msg: impl Into<String>) -> Self {
+        CniError { code: 6, msg: msg.into() }
+    }
+    /// Code 7: invalid environment (e.g. netns gone).
+    pub fn invalid_environment(msg: impl Into<String>) -> Self {
+        CniError { code: 7, msg: msg.into() }
+    }
+    /// Code 11: try again later.
+    pub fn try_again(msg: impl Into<String>) -> Self {
+        CniError { code: 11, msg: msg.into() }
+    }
+    /// Plugin-specific error (code ≥ 100).
+    pub fn plugin(code: u32, msg: impl Into<String>) -> Self {
+        debug_assert!(code >= 100);
+        CniError { code, msg: msg.into() }
+    }
+}
+
+impl core::fmt::Display for CniError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CNI error {}: {}", self.code, self.msg)
+    }
+}
+
+impl std::error::Error for CniError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "cniVersion": "1.0.0",
+        "name": "cluster-net",
+        "plugins": [
+            { "type": "bridge", "bridge": "cni0", "subnet": "10.42.0.0/24" },
+            { "type": "cxi", "vniEndpoint": "http://vni-endpoint.kube-system" }
+        ]
+    }"#;
+
+    #[test]
+    fn parses_chained_conflist() {
+        let conf = NetworkConfList::parse(SAMPLE).unwrap();
+        assert_eq!(conf.name, "cluster-net");
+        assert_eq!(conf.plugins.len(), 2);
+        assert_eq!(conf.plugins[0].plugin_type, "bridge");
+        assert_eq!(conf.plugins[1].plugin_type, "cxi");
+        assert_eq!(
+            conf.plugins[1].extra["vniEndpoint"],
+            serde_json::json!("http://vni-endpoint.kube-system")
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let json = SAMPLE.replace("1.0.0", "9.9.9");
+        let err = NetworkConfList::parse(&json).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        let err = NetworkConfList::parse(
+            r#"{"cniVersion":"1.0.0","name":"x","plugins":[]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 4);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        let err = NetworkConfList::parse("{nope").unwrap_err();
+        assert_eq!(err.code, 6);
+    }
+
+    #[test]
+    fn result_roundtrips_through_json() {
+        let mut r = CniResult::default();
+        r.interfaces.push(Interface { name: "eth0".into(), sandbox: "netns-5".into() });
+        r.ips.push(IpConfig { address: "10.42.0.7/24".into(), interface: 0 });
+        r.extensions.insert("cxi/vni".into(), serde_json::json!(1024));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CniResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn error_codes_follow_spec_ranges() {
+        assert_eq!(CniError::incompatible_version("x").code, 1);
+        assert_eq!(CniError::invalid_config("x").code, 4);
+        assert_eq!(CniError::decoding("x").code, 6);
+        assert_eq!(CniError::invalid_environment("x").code, 7);
+        assert_eq!(CniError::try_again("x").code, 11);
+        assert!(CniError::plugin(100, "x").code >= 100);
+    }
+}

@@ -1,0 +1,666 @@
+//! Cluster composition: everything from Fig. 2 of the paper wired
+//! together — per-node kernel, Cassini NIC + extended CXI driver,
+//! container runtime, chained CNI plugins (bridge + CXI), kubelet; and
+//! the cluster-level control plane — API server, scheduler, job
+//! controller, and the VNI Service (two decorator controllers sharing
+//! one VNI Endpoint + ACID database).
+//!
+//! The cluster is poll-driven: call [`Cluster::tick`] on a fixed cadence
+//! (the harness uses 20 ms) and all controllers and kubelets advance.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use shs_cassini::{CassiniNic, CassiniParams};
+use shs_cni::{BridgePlugin, CniArgs, PodRef};
+use shs_containers::{ContainerRuntime, Image, ImageStore, RuntimeError, RuntimeParams, UserNsMode};
+use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc};
+use shs_des::{DetRng, SimDur, SimTime};
+use shs_fabric::{Fabric, NicAddr, Vni};
+use shs_k8s::{
+    kinds, make_node, spec_of, status_of, ApiObject, ApiServer, CniAddOutcome, DecoratorConfig,
+    JobController, JobSpec, Kubelet, KubeletParams, Metacontroller, NodeBackend, PodPhase,
+    PodSpec, PodStatus, PodTemplate, Scheduler, VNI_ANNOTATION,
+};
+use shs_oslinux::{Creds, Host, NetNsId, Pid};
+
+use crate::cxi_cni::{CxiCniPlugin, NodeChain, NodeCniCtx};
+use crate::endpoint::{EndpointHandle, EndpointRole, VniEndpoint};
+use crate::vni_db::{VniDb, VniDbConfig};
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (the paper's testbed has 2).
+    pub nodes: usize,
+    /// Experiment seed (drives all jitter).
+    pub seed: u64,
+    /// VNI Endpoint webhook latency (HTTP + handler + DB transaction).
+    pub webhook_latency: SimDur,
+    /// Kubelet tuning.
+    pub kubelet: KubeletParams,
+    /// Allocatable VNI range.
+    pub vni_range: core::ops::Range<u16>,
+    /// VNI reuse quarantine (paper: 30 s).
+    pub quarantine: SimDur,
+    /// Per-node pod capacity.
+    pub max_pods_per_node: u32,
+    /// NIC timing model.
+    pub nic_params: CassiniParams,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            seed: 42,
+            webhook_latency: SimDur::from_millis(12),
+            kubelet: KubeletParams::default(),
+            vni_range: 1024..4096,
+            quarantine: SimDur::from_secs(30),
+            max_pods_per_node: 256,
+            nic_params: CassiniParams::default(),
+        }
+    }
+}
+
+/// The image the admission experiments launch (paper: alpine + echo).
+pub fn alpine() -> Image {
+    Image::alpine()
+}
+
+/// The image the communication experiments launch (OSU benchmarks over
+/// patched libfabric/Open MPI, Table I).
+pub fn osu_image() -> Image {
+    Image { reference: "registry.local/library/osu-micro-benchmarks:7.3".into(), size_bytes: 48_000_000 }
+}
+
+/// Node-local state (everything except the kubelet, so the kubelet can
+/// borrow it as a backend).
+pub struct NodeInner {
+    /// Node name.
+    pub name: String,
+    /// The node kernel.
+    pub host: Host,
+    /// CXI driver + NIC.
+    pub device: CxiDevice,
+    /// Container runtime.
+    pub runtime: ContainerRuntime,
+    /// CNI plugin chain (bridge → cxi).
+    pub chain: NodeChain,
+    /// Fabric address of the node's NIC.
+    pub nic: NicAddr,
+}
+
+impl NodeInner {
+    /// Sandbox id for a pod (CRI uses a generated id; we use the stable
+    /// full name, which is unique among live pods).
+    pub fn sandbox_id(pod: &ApiObject) -> String {
+        format!("{}_{}", pod.meta.namespace, pod.meta.name)
+    }
+
+    fn root_creds(&self) -> Creds {
+        self.host.credentials(Pid(1)).expect("init exists")
+    }
+}
+
+/// One worker node.
+pub struct Node {
+    /// The kubelet.
+    pub kubelet: Kubelet,
+    /// Everything else.
+    pub inner: NodeInner,
+}
+
+struct Backend<'a> {
+    inner: &'a mut NodeInner,
+    fabric: &'a mut Fabric,
+}
+
+impl NodeBackend for Backend<'_> {
+    fn create_sandbox(&mut self, pod: &ApiObject) -> Result<(NetNsId, SimDur), String> {
+        let spec: PodSpec = spec_of(pod);
+        let mode = match spec.userns_base {
+            Some(base) => UserNsMode::Mapped { base },
+            None => UserNsMode::Host,
+        };
+        self.inner
+            .runtime
+            .create_sandbox(&mut self.inner.host, &NodeInner::sandbox_id(pod), mode)
+            .map_err(|e| e.to_string())
+    }
+
+    fn cni_add(&mut self, api: &ApiServer, pod: &ApiObject, netns: NetNsId) -> CniAddOutcome {
+        let args = CniArgs {
+            container_id: NodeInner::sandbox_id(pod),
+            netns,
+            ifname: "eth0".into(),
+            pod: Some(PodRef {
+                namespace: pod.meta.namespace.clone(),
+                name: pod.meta.name.clone(),
+                uid: pod.meta.uid.to_string(),
+            }),
+        };
+        let root = self.inner.root_creds();
+        let mut ctx = NodeCniCtx {
+            host: &mut self.inner.host,
+            device: &mut self.inner.device,
+            fabric: self.fabric,
+            api,
+            nic: self.inner.nic,
+            root,
+        };
+        match self.inner.chain.add(&mut ctx, &args) {
+            Ok((_result, cost)) => CniAddOutcome::Ok(cost),
+            Err((e, cost)) if e.code == 11 => CniAddOutcome::Retry(cost),
+            Err((e, cost)) => CniAddOutcome::Fatal(cost, e.to_string()),
+        }
+    }
+
+    fn start_workload(&mut self, pod: &ApiObject) -> Result<(SimDur, Option<SimDur>), String> {
+        let spec: PodSpec = spec_of(pod);
+        let image = Image {
+            reference: spec.image.clone(),
+            size_bytes: 0, // size only matters for publish; ensure() uses the registry's copy
+        };
+        let run = spec.run_ms.map(SimDur::from_millis);
+        self.inner
+            .runtime
+            .start_container(
+                &mut self.inner.host,
+                &NodeInner::sandbox_id(pod),
+                "main",
+                &image,
+                run,
+            )
+            .map(|(_pid, cost)| (cost, run))
+            .map_err(|e| e.to_string())
+    }
+
+    fn cni_del(&mut self, pod: &ApiObject, netns: NetNsId) -> SimDur {
+        let args = CniArgs {
+            container_id: NodeInner::sandbox_id(pod),
+            netns,
+            ifname: "eth0".into(),
+            pod: Some(PodRef {
+                namespace: pod.meta.namespace.clone(),
+                name: pod.meta.name.clone(),
+                uid: pod.meta.uid.to_string(),
+            }),
+        };
+        let root = self.inner.root_creds();
+        // DEL must not depend on API state (the pod object may be gone).
+        let empty_api = EMPTY_API.with(|a| a.clone());
+        let mut ctx = NodeCniCtx {
+            host: &mut self.inner.host,
+            device: &mut self.inner.device,
+            fabric: self.fabric,
+            api: &empty_api.borrow(),
+            nic: self.inner.nic,
+            root,
+        };
+        self.inner.chain.del(&mut ctx, &args)
+    }
+
+    fn remove_sandbox(&mut self, pod: &ApiObject) -> SimDur {
+        match self
+            .inner
+            .runtime
+            .remove_sandbox(&mut self.inner.host, &NodeInner::sandbox_id(pod))
+        {
+            Ok(cost) => cost,
+            Err(RuntimeError::NoSuchSandbox(_)) => SimDur::from_millis(1),
+            Err(_) => SimDur::from_millis(1),
+        }
+    }
+}
+
+thread_local! {
+    /// A permanently empty API view handed to CNI DEL (which must be
+    /// independent of management-plane state).
+    static EMPTY_API: Rc<RefCell<ApiServer>> = Rc::new(RefCell::new(ApiServer::default()));
+}
+
+/// The whole simulated cluster.
+pub struct Cluster {
+    /// Management plane.
+    pub api: ApiServer,
+    /// The Slingshot fabric.
+    pub fabric: Fabric,
+    /// Worker nodes.
+    pub nodes: Vec<Node>,
+    /// Pod scheduler.
+    pub scheduler: Scheduler,
+    /// Job controller.
+    pub job_controller: JobController,
+    /// VNI decorator controller over Jobs.
+    pub vni_jobs: Metacontroller<EndpointHandle>,
+    /// VNI decorator controller over VniClaims.
+    pub vni_claims: Metacontroller<EndpointHandle>,
+    /// Shared VNI endpoint (+ database).
+    pub endpoint: Rc<RefCell<VniEndpoint>>,
+    /// Configuration.
+    pub config: ClusterConfig,
+    /// RNG root for this cluster instance.
+    pub rng: DetRng,
+}
+
+impl Cluster {
+    /// Build a cluster per the configuration. All nodes run the extended
+    /// CXI driver, carry a default (global-VNI) CXI service for the
+    /// single-tenant baseline, and chain `bridge` + `cxi` CNI plugins.
+    pub fn new(config: ClusterConfig) -> Self {
+        let rng = DetRng::new(config.seed);
+        let mut api = ApiServer::default();
+        let mut fabric = Fabric::new(config.nodes + 8);
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let name = format!("node{i}");
+            let nic = NicAddr(i as u32 + 1);
+            fabric.attach(nic);
+            fabric.grant_vni(nic, Vni::GLOBAL);
+            let host = Host::new(&name);
+            let mut device = CxiDevice::new(
+                CxiDriver::extended(),
+                CassiniNic::new(nic, config.nic_params, rng.derive(&format!("nic/{name}"))),
+            );
+            let root = host.credentials(Pid(1)).expect("init");
+            device
+                .alloc_svc(&root, CxiServiceDesc::default_service())
+                .expect("default service");
+            let mut images = ImageStore::default();
+            images.publish(alpine());
+            images.publish(osu_image());
+            // Pod-start/teardown costs calibrated so two nodes provide
+            // ~6 admissions/s — the knee the paper's Fig. 10 shows near
+            // batch 7 — and a drain phase on the same order as admission.
+            let runtime = ContainerRuntime::new(
+                RuntimeParams {
+                    sandbox_create: SimDur::from_millis(280),
+                    container_create: SimDur::from_millis(90),
+                    container_start: SimDur::from_millis(130),
+                    // Container kill + sandbox teardown + cgroup/volume
+                    // cleanup + status round trips: ~1 s per pod, the
+                    // rate that lets running jobs accumulate in Figs. 9/11.
+                    sandbox_teardown: SimDur::from_millis(950),
+                },
+                images,
+            );
+            let mut chain = NodeChain::new();
+            chain.push(Box::new(BridgePlugin::new("cni0", format!("10.42.{i}"))));
+            chain.push(Box::new(CxiCniPlugin::default()));
+            let kubelet = Kubelet::new(&name, config.kubelet);
+            api.create(make_node(&name, config.max_pods_per_node), SimTime::ZERO)
+                .expect("node object");
+            nodes.push(Node {
+                kubelet,
+                inner: NodeInner { name, host, device, runtime, chain, nic },
+            });
+        }
+
+        let endpoint = Rc::new(RefCell::new(VniEndpoint::new(VniDb::new(VniDbConfig {
+            range: config.vni_range.clone(),
+            quarantine: config.quarantine,
+        }))));
+        let vni_jobs = Metacontroller::new(
+            DecoratorConfig {
+                name: "vni-jobs".into(),
+                parent_kind: kinds::JOB.into(),
+                annotation_filter: Some(VNI_ANNOTATION.into()),
+                child_kind: kinds::VNI.into(),
+                webhook_latency: config.webhook_latency,
+                resync_period: None,
+            },
+            EndpointHandle { endpoint: Rc::clone(&endpoint), role: EndpointRole::Jobs },
+        );
+        let vni_claims = Metacontroller::new(
+            DecoratorConfig {
+                name: "vni-claims".into(),
+                parent_kind: kinds::VNI_CLAIM.into(),
+                annotation_filter: None,
+                child_kind: kinds::VNI.into(),
+                webhook_latency: config.webhook_latency,
+                // Claim finalization depends on the off-cluster user list
+                // in the VNI DB; poll it periodically (§III-C2: deletion
+                // "will stall otherwise").
+                resync_period: Some(SimDur::from_secs(2)),
+            },
+            EndpointHandle { endpoint: Rc::clone(&endpoint), role: EndpointRole::Claims },
+        );
+
+        Cluster {
+            api,
+            fabric,
+            nodes,
+            scheduler: Scheduler::new(),
+            job_controller: JobController::new(),
+            vni_jobs,
+            vni_claims,
+            endpoint,
+            config,
+            rng,
+        }
+    }
+
+    /// One control-plane tick: controllers reconcile, kubelets advance.
+    pub fn tick(&mut self, now: SimTime) {
+        self.job_controller.poll(&mut self.api, now);
+        self.vni_claims.poll(&mut self.api, now);
+        self.vni_jobs.poll(&mut self.api, now);
+        self.scheduler.poll(&mut self.api, now);
+        for node in &mut self.nodes {
+            let mut backend = Backend { inner: &mut node.inner, fabric: &mut self.fabric };
+            node.kubelet.poll(&mut self.api, &mut backend, now);
+        }
+    }
+
+    /// Drive ticks from `from` (exclusive) to `to` (inclusive) on a fixed
+    /// cadence.
+    pub fn run_until(&mut self, from: SimTime, to: SimTime, tick: SimDur) -> SimTime {
+        let mut t = from;
+        while t < to {
+            t = (t + tick).min(to);
+            self.tick(t);
+        }
+        t
+    }
+
+    /// Submit a job. `annotations` may carry the `vni` key.
+#[allow(clippy::too_many_arguments)]
+    pub fn submit_job(
+        &mut self,
+        now: SimTime,
+        namespace: &str,
+        name: &str,
+        annotations: &[(&str, &str)],
+        parallelism: u32,
+        image: &Image,
+        run_ms: Option<u64>,
+    ) {
+        let spec = JobSpec {
+            parallelism,
+            template: PodTemplate {
+                image: image.reference.clone(),
+                run_ms,
+                userns_base: None,
+            },
+            ttl_seconds_after_finished: Some(0),
+        };
+        let mut job = shs_k8s::make_job(namespace, name, &spec);
+        for (k, v) in annotations {
+            job.meta.annotations.insert((*k).into(), (*v).into());
+        }
+        self.api.create(job, now).expect("job name unique");
+    }
+
+    /// Create a VNI Claim (Listing 2 of the paper).
+    pub fn create_claim(&mut self, now: SimTime, namespace: &str, name: &str) {
+        let claim = ApiObject::new(
+            kinds::VNI_CLAIM,
+            namespace,
+            name,
+            serde_json::json!({ "name": name }),
+        );
+        self.api.create(claim, now).expect("claim name unique");
+    }
+
+    /// Request deletion of a VNI Claim.
+    pub fn delete_claim(&mut self, namespace: &str, name: &str) {
+        let _ = self.api.delete(kinds::VNI_CLAIM, namespace, name);
+    }
+
+    /// Request deletion of a job.
+    pub fn delete_job(&mut self, namespace: &str, name: &str) {
+        let _ = self.api.delete(kinds::JOB, namespace, name);
+    }
+
+    /// Whether a job object still exists (terminating counts as existing).
+    pub fn job_exists(&self, namespace: &str, name: &str) -> bool {
+        self.api.get(kinds::JOB, namespace, name).is_some()
+    }
+
+    /// When the first pod of a job started, if it has.
+    pub fn job_started_at(&self, namespace: &str, name: &str) -> Option<SimTime> {
+        self.api
+            .list_namespaced(kinds::POD, namespace)
+            .into_iter()
+            .filter(|p| {
+                let s: PodSpec = spec_of(p);
+                s.job_name.as_deref() == Some(name)
+            })
+            .filter_map(|p| status_of::<PodStatus>(p).and_then(|s| s.started_at_ns))
+            .min()
+            .map(SimTime::from_nanos)
+    }
+
+    /// Pods currently in a given phase.
+    pub fn pods_in_phase(&self, phase: PodPhase) -> usize {
+        self.api
+            .list(kinds::POD)
+            .iter()
+            .filter(|p| shs_k8s::pod_phase(p) == phase)
+            .count()
+    }
+
+    /// A pod's runtime handle: owning node index, workload pid, netns.
+    pub fn pod_handle(&self, namespace: &str, name: &str) -> Option<PodHandle> {
+        let pod = self.api.get(kinds::POD, namespace, name)?;
+        let spec: PodSpec = spec_of(pod);
+        let node_name = spec.node_name?;
+        let node_idx = self.nodes.iter().position(|n| n.inner.name == node_name)?;
+        let sandbox =
+            self.nodes[node_idx].inner.runtime.sandbox(&NodeInner::sandbox_id(pod)).ok()?;
+        let pid = sandbox.containers.last().map(|c| c.pid)?;
+        Some(PodHandle { node_idx, pid, netns: sandbox.netns })
+    }
+
+    /// Split-borrow two distinct nodes plus the fabric (OSU harness).
+    /// Panics if `a == b` or out of range.
+    pub fn two_nodes_mut(&mut self, a: usize, b: usize) -> (&mut Node, &mut Node, &mut Fabric) {
+        assert_ne!(a, b, "need two distinct nodes");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (left, right) = self.nodes.split_at_mut(hi);
+        let (na, nb) = if a < b {
+            (&mut left[lo], &mut right[0])
+        } else {
+            (&mut right[0], &mut left[lo])
+        };
+        (na, nb, &mut self.fabric)
+    }
+}
+
+/// A running pod's node-local identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodHandle {
+    /// Index into [`Cluster::nodes`].
+    pub node_idx: usize,
+    /// Workload process id on that node.
+    pub pid: Pid,
+    /// The pod's network namespace.
+    pub netns: NetNsId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cluster(c: &mut Cluster, from_ms: u64, to_ms: u64) {
+        c.run_until(
+            SimTime::from_nanos(from_ms * 1_000_000),
+            SimTime::from_nanos(to_ms * 1_000_000),
+            SimDur::from_millis(20),
+        );
+    }
+
+    #[test]
+    fn plain_job_runs_to_completion_and_ttl_reaps_it() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_job(SimTime::ZERO, "t", "echo", &[], 1, &alpine(), Some(10));
+        run_cluster(&mut c, 0, 5_000);
+        assert!(!c.job_exists("t", "echo"), "ttl=0 deletes after completion");
+        assert_eq!(c.api.list(kinds::POD).len(), 0, "pods torn down");
+        assert_eq!(c.nodes.iter().map(|n| n.inner.runtime.sandbox_count()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn vni_job_gets_isolated_network_then_cleanup() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_job(
+            SimTime::ZERO,
+            "t",
+            "secure",
+            &[(VNI_ANNOTATION, "true")],
+            2,
+            &alpine(),
+            Some(50_000), // long-running so we can inspect mid-flight
+        );
+        run_cluster(&mut c, 0, 4_000);
+        // VNI CRD exists and the pods run with per-netns CXI services.
+        let crd = c.api.get(kinds::VNI, "t", "vni-secure").expect("VNI CRD");
+        let vni = crd.spec["vni"].as_u64().unwrap() as u16;
+        assert!((1024..4096).contains(&vni));
+        // Both nodes carry one netns-member service for this job's pods.
+        let svc_count: usize = c
+            .nodes
+            .iter()
+            .map(|n| {
+                n.inner
+                    .device
+                    .driver
+                    .services()
+                    .iter()
+                    .filter(|s| s.vnis.contains(&Vni(vni)))
+                    .count()
+            })
+            .sum();
+        assert_eq!(svc_count, 2, "one per pod, spread across nodes");
+        // Switch grants realised on both ports.
+        for n in &c.nodes {
+            let port = c.fabric.port_of(n.inner.nic).unwrap();
+            assert!(c.fabric.switch().has_vni(port, Vni(vni)));
+        }
+        // Delete the job: everything unwinds (VNI released, services gone).
+        c.delete_job("t", "secure");
+        run_cluster(&mut c, 4_000, 10_000);
+        assert!(!c.job_exists("t", "secure"));
+        assert_eq!(c.endpoint.borrow().db.allocated_count(), 0, "VNI released");
+        let leftover: usize = c
+            .nodes
+            .iter()
+            .map(|n| {
+                n.inner
+                    .device
+                    .driver
+                    .services()
+                    .iter()
+                    .filter(|s| s.label.starts_with("cni:"))
+                    .count()
+            })
+            .sum();
+        assert_eq!(leftover, 0, "no leaked CXI services");
+    }
+
+    #[test]
+    fn claim_shared_by_two_jobs() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.create_claim(SimTime::ZERO, "t", "shared");
+        run_cluster(&mut c, 0, 500);
+        c.submit_job(
+            SimTime::from_nanos(500_000_000),
+            "t",
+            "j1",
+            &[(VNI_ANNOTATION, "shared")],
+            1,
+            &alpine(),
+            Some(60_000),
+        );
+        c.submit_job(
+            SimTime::from_nanos(500_000_000),
+            "t",
+            "j2",
+            &[(VNI_ANNOTATION, "shared")],
+            1,
+            &alpine(),
+            Some(60_000),
+        );
+        run_cluster(&mut c, 500, 5_000);
+        let v1 = c.api.get(kinds::VNI, "t", "vni-j1").expect("virtual VNI for j1");
+        let v2 = c.api.get(kinds::VNI, "t", "vni-j2").expect("virtual VNI for j2");
+        assert_eq!(v1.spec["vni"], v2.spec["vni"], "jobs share the claim VNI");
+        assert_eq!(v1.spec["virtual"], serde_json::json!(true));
+        // Claim deletion stalls while jobs use it.
+        c.delete_claim("t", "shared");
+        run_cluster(&mut c, 5_000, 7_000);
+        assert!(c.api.get(kinds::VNI_CLAIM, "t", "shared").is_some(), "stalled");
+        // Jobs end; claim then releases.
+        c.delete_job("t", "j1");
+        c.delete_job("t", "j2");
+        run_cluster(&mut c, 7_000, 15_000);
+        assert!(c.api.get(kinds::VNI_CLAIM, "t", "shared").is_none(), "claim reaped");
+        assert_eq!(c.endpoint.borrow().db.allocated_count(), 0);
+    }
+
+    #[test]
+    fn job_with_unknown_claim_fails_to_launch() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_job(
+            SimTime::ZERO,
+            "t",
+            "orphan",
+            &[(VNI_ANNOTATION, "no-such-claim")],
+            1,
+            &alpine(),
+            Some(10),
+        );
+        run_cluster(&mut c, 0, 3_000);
+        // No VNI CRD appears, the pod retries CNI and never starts.
+        assert!(c.api.get(kinds::VNI, "t", "vni-orphan").is_none());
+        assert_eq!(c.pods_in_phase(PodPhase::Running), 0);
+        assert!(c.job_started_at("t", "orphan").is_none());
+        let retries: u64 = c.nodes.iter().map(|n| n.kubelet.counters.cni_retries).sum();
+        assert!(retries > 0, "kubelet retried the CNI ADD");
+    }
+
+    #[test]
+    fn pods_of_vni_job_land_on_distinct_nodes() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_job(
+            SimTime::ZERO,
+            "t",
+            "osu",
+            &[(VNI_ANNOTATION, "true")],
+            2,
+            &osu_image(),
+            None,
+        );
+        run_cluster(&mut c, 0, 4_000);
+        let h0 = c.pod_handle("t", "osu-0").expect("pod 0 running");
+        let h1 = c.pod_handle("t", "osu-1").expect("pod 1 running");
+        assert_ne!(h0.node_idx, h1.node_idx, "topology spread");
+        assert_ne!(h0.netns, h1.netns);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let mut c = Cluster::new(ClusterConfig { seed, ..Default::default() });
+            c.submit_job(
+                SimTime::ZERO,
+                "t",
+                "j",
+                &[(VNI_ANNOTATION, "true")],
+                1,
+                &alpine(),
+                Some(10),
+            );
+            run_cluster(&mut c, 0, 3_000);
+            let acquisitions = c.endpoint.borrow().counters.acquisitions;
+            (
+                c.api.requests,
+                acquisitions,
+                c.nodes.iter().map(|n| n.kubelet.counters.pods_started).sum::<u64>(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,40 @@
+//! # slingshot-k8s — multi-tenant Slingshot RDMA for Kubernetes
+//!
+//! The core contribution of the reproduced paper (CLUSTER 2025), built on
+//! the `shs-*` substrate crates:
+//!
+//! * **netns-authenticated CXI services** — the driver extension lives in
+//!   `shs-cxi`; this crate exercises it end to end;
+//! * **the CXI CNI plugin** ([`cxi_cni::CxiCniPlugin`], §III-B) — a
+//!   chained plugin that creates per-container, netns-member CXI services
+//!   from VNI CRD instances, enforces the 30 s termination-grace bound,
+//!   and cleans up on DEL;
+//! * **the VNI Service** (§III-C) — the [`endpoint::VniEndpoint`] webhook
+//!   backend with Per-Resource VNI and VNI-Claim ownership models, and
+//!   the ACID [`vni_db::VniDb`] with the 30 s reuse quarantine and audit
+//!   log;
+//! * **the cluster composition** ([`cluster::Cluster`]) that wires hosts,
+//!   NICs, the fabric, container runtimes, CNI chains, kubelets and the
+//!   control plane into one deterministic simulated cluster.
+//!
+//! ```
+//! use shs_des::{SimDur, SimTime};
+//! use slingshot_k8s::{alpine, Cluster, ClusterConfig};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! cluster.submit_job(SimTime::ZERO, "tenant", "hello",
+//!                    &[("vni", "true")], 1, &alpine(), Some(10));
+//! cluster.run_until(SimTime::ZERO, SimTime::from_nanos(5_000_000_000),
+//!                   SimDur::from_millis(20));
+//! assert!(!cluster.job_exists("tenant", "hello"), "completed and reaped");
+//! ```
+
+pub mod cluster;
+pub mod cxi_cni;
+pub mod endpoint;
+pub mod vni_db;
+
+pub use cluster::{alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, PodHandle};
+pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
+pub use endpoint::{EndpointCounters, EndpointHandle, EndpointRole, VniCrdSpec, VniEndpoint};
+pub use vni_db::{AuditEntry, VniDb, VniDbConfig, VniDbError, VniOwner, VniRow, VniState};

@@ -1,0 +1,461 @@
+//! The VNI Database (§III-C2): typed schema over the ACID store.
+//!
+//! Tables:
+//! * `vnis`       — one row per VNI that is allocated or quarantined,
+//!                  including its owner and (for claims) its user list;
+//! * `audit_log`  — append-only log of every allocation, release, and
+//!                  user add/remove, as the paper requires ("we keep a
+//!                  log for all VNI allocation and release requests, as
+//!                  well as VNI user addition and removal requests").
+//!
+//! Every public operation is a single serializable transaction, so the
+//! check-then-allocate races the paper worries about (§III-C2 TOCTOU)
+//! cannot produce double allocations — property-tested in
+//! `tests/vni_exclusivity.rs`.
+
+use serde::{Deserialize, Serialize};
+use shs_des::{SimDur, SimTime};
+use shs_fabric::Vni;
+use shs_vnistore::{Store, StoreConfig};
+
+/// Who owns an allocated VNI.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VniOwner {
+    /// A job (Per-Resource VNI model).
+    Job {
+        /// `namespace/name` of the job.
+        key: String,
+    },
+    /// A VNI Claim (VNI Claim model).
+    Claim {
+        /// `namespace/name` of the claim.
+        key: String,
+    },
+}
+
+/// Row state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VniState {
+    /// Allocated to an owner.
+    Allocated,
+    /// Released; unusable until the quarantine window passes (§III-C1:
+    /// "we only hand out a VNI after it has been released for more than
+    /// 30 seconds").
+    Quarantined {
+        /// Release instant (ns since sim start).
+        released_at_ns: u64,
+    },
+}
+
+/// One `vnis` table row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VniRow {
+    /// The VNI.
+    pub vni: u16,
+    /// Current state.
+    pub state: VniState,
+    /// Owner at allocation time (kept through quarantine for the log).
+    pub owner: VniOwner,
+    /// Users (jobs) attached to a claim-owned VNI.
+    pub users: Vec<String>,
+}
+
+/// An audit-log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Event time (ns).
+    pub at_ns: u64,
+    /// What happened.
+    pub event: String,
+    /// Affected VNI.
+    pub vni: u16,
+}
+
+/// Database errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VniDbError {
+    /// No VNI available in the configured range (all allocated or in
+    /// quarantine).
+    Exhausted,
+    /// VNI not found or not in the expected state.
+    NotFound,
+    /// The claim still has users attached (deletion must stall, §III-C2).
+    ClaimInUse,
+}
+
+impl core::fmt::Display for VniDbError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            VniDbError::Exhausted => "VNI range exhausted",
+            VniDbError::NotFound => "VNI not found",
+            VniDbError::ClaimInUse => "claim still has users",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VniDbError {}
+
+/// Configuration of the VNI database.
+#[derive(Debug, Clone)]
+pub struct VniDbConfig {
+    /// Allocatable VNI range (half-open). VNI 1 is reserved as the
+    /// global single-tenant VNI, so ranges start above it.
+    pub range: core::ops::Range<u16>,
+    /// Quarantine window before reuse.
+    pub quarantine: SimDur,
+}
+
+impl Default for VniDbConfig {
+    fn default() -> Self {
+        VniDbConfig { range: 1024..4096, quarantine: SimDur::from_secs(30) }
+    }
+}
+
+const T_VNIS: &str = "vnis";
+const T_AUDIT: &str = "audit_log";
+
+/// The VNI database.
+#[derive(Debug)]
+pub struct VniDb {
+    store: Store,
+    config: VniDbConfig,
+    next_audit_seq: u64,
+}
+
+impl VniDb {
+    /// Fresh database.
+    pub fn new(config: VniDbConfig) -> Self {
+        VniDb { store: Store::new(StoreConfig::default()), config, next_audit_seq: 0 }
+    }
+
+    /// Recover a database from a crashed/persisted store image.
+    pub fn recover(disk: shs_vnistore::SimDisk, config: VniDbConfig) -> Self {
+        let store = Store::recover(disk, StoreConfig::default());
+        let next_audit_seq = store.row_count(T_AUDIT) as u64;
+        VniDb { store, config, next_audit_seq }
+    }
+
+    /// Access the underlying store (crash injection in tests).
+    pub fn into_store(self) -> Store {
+        self.store
+    }
+
+    /// The configured quarantine window.
+    pub fn quarantine(&self) -> SimDur {
+        self.config.quarantine
+    }
+
+    fn key(vni: u16) -> [u8; 2] {
+        vni.to_be_bytes()
+    }
+
+    fn decode_row(bytes: &[u8]) -> VniRow {
+        serde_json::from_slice(bytes).expect("vnis rows are valid JSON")
+    }
+
+    /// Look up a row.
+    pub fn row(&self, vni: Vni) -> Option<VniRow> {
+        self.store.get(T_VNIS, &Self::key(vni.raw())).map(Self::decode_row)
+    }
+
+    /// All rows (diagnostics / recovery checks).
+    pub fn rows(&self) -> Vec<VniRow> {
+        self.store.scan(T_VNIS).map(|(_, v)| Self::decode_row(v)).collect()
+    }
+
+    /// Audit log length.
+    pub fn audit_len(&self) -> usize {
+        self.store.row_count(T_AUDIT)
+    }
+
+    /// Audit entries in order.
+    pub fn audit(&self) -> Vec<AuditEntry> {
+        self.store
+            .scan(T_AUDIT)
+            .map(|(_, v)| serde_json::from_slice(v).expect("audit rows are valid JSON"))
+            .collect()
+    }
+
+    /// Find the VNI owned by `owner`, if any (idempotent re-sync path).
+    pub fn find_by_owner(&self, owner: &VniOwner) -> Option<VniRow> {
+        self.rows()
+            .into_iter()
+            .find(|r| r.state == VniState::Allocated && &r.owner == owner)
+    }
+
+    /// Atomically acquire a fresh VNI for `owner`. Scans the range for a
+    /// VNI that is neither allocated nor inside the quarantine window —
+    /// check and insert happen in one transaction.
+    pub fn acquire(&mut self, owner: VniOwner, now: SimTime) -> Result<Vni, VniDbError> {
+        // Idempotency: an owner re-acquiring gets its existing VNI.
+        if let Some(row) = self.find_by_owner(&owner) {
+            return Ok(Vni(row.vni));
+        }
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        let mut chosen: Option<u16> = None;
+        for vni in self.config.range.clone() {
+            match txn.get(T_VNIS, &Self::key(vni)) {
+                None => {
+                    chosen = Some(vni);
+                    break;
+                }
+                Some(bytes) => {
+                    let row = Self::decode_row(&bytes);
+                    if let VniState::Quarantined { released_at_ns } = row.state {
+                        let free_at = SimTime::from_nanos(released_at_ns)
+                            + self.config.quarantine;
+                        if now >= free_at {
+                            chosen = Some(vni);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(vni) = chosen else {
+            return Err(VniDbError::Exhausted);
+        };
+        let row = VniRow { vni, state: VniState::Allocated, owner, users: Vec::new() };
+        txn.put(T_VNIS, &Self::key(vni), &serde_json::to_vec(&row).expect("serializes"));
+        txn.put(
+            T_AUDIT,
+            &seq.to_be_bytes(),
+            &serde_json::to_vec(&AuditEntry {
+                at_ns: now.as_nanos(),
+                event: "acquire".into(),
+                vni,
+            })
+            .expect("serializes"),
+        );
+        txn.commit();
+        self.next_audit_seq += 1;
+        Ok(Vni(vni))
+    }
+
+    /// Atomically release a VNI into quarantine.
+    pub fn release(&mut self, vni: Vni, now: SimTime) -> Result<(), VniDbError> {
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(&bytes);
+        if row.state != VniState::Allocated {
+            return Err(VniDbError::NotFound);
+        }
+        row.state = VniState::Quarantined { released_at_ns: now.as_nanos() };
+        row.users.clear();
+        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        txn.put(
+            T_AUDIT,
+            &seq.to_be_bytes(),
+            &serde_json::to_vec(&AuditEntry {
+                at_ns: now.as_nanos(),
+                event: "release".into(),
+                vni: vni.raw(),
+            })
+            .expect("serializes"),
+        );
+        txn.commit();
+        self.next_audit_seq += 1;
+        Ok(())
+    }
+
+    /// Find the VNI allocated to a claim by claim key (`ns/name`).
+    pub fn find_by_claim(&self, claim_key: &str) -> Option<VniRow> {
+        self.find_by_owner(&VniOwner::Claim { key: claim_key.to_string() })
+    }
+
+    /// Atomically add a user (a job key) to a claim-owned VNI.
+    pub fn add_user(&mut self, vni: Vni, user: &str, now: SimTime) -> Result<(), VniDbError> {
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(&bytes);
+        if row.state != VniState::Allocated {
+            return Err(VniDbError::NotFound);
+        }
+        if !row.users.iter().any(|u| u == user) {
+            row.users.push(user.to_string());
+        }
+        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        txn.put(
+            T_AUDIT,
+            &seq.to_be_bytes(),
+            &serde_json::to_vec(&AuditEntry {
+                at_ns: now.as_nanos(),
+                event: format!("add_user:{user}"),
+                vni: vni.raw(),
+            })
+            .expect("serializes"),
+        );
+        txn.commit();
+        self.next_audit_seq += 1;
+        Ok(())
+    }
+
+    /// Atomically remove a user; returns how many remain.
+    pub fn remove_user(
+        &mut self,
+        vni: Vni,
+        user: &str,
+        now: SimTime,
+    ) -> Result<usize, VniDbError> {
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(&bytes);
+        row.users.retain(|u| u != user);
+        let remaining = row.users.len();
+        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        txn.put(
+            T_AUDIT,
+            &seq.to_be_bytes(),
+            &serde_json::to_vec(&AuditEntry {
+                at_ns: now.as_nanos(),
+                event: format!("remove_user:{user}"),
+                vni: vni.raw(),
+            })
+            .expect("serializes"),
+        );
+        txn.commit();
+        self.next_audit_seq += 1;
+        Ok(remaining)
+    }
+
+    /// Release a claim-owned VNI, refusing while users remain (§III-C2:
+    /// "the deletion request is only granted once all users of the VNI
+    /// claim have been removed").
+    pub fn release_claim(&mut self, claim_key: &str, now: SimTime) -> Result<(), VniDbError> {
+        let Some(row) = self.find_by_claim(claim_key) else {
+            return Err(VniDbError::NotFound);
+        };
+        if !row.users.is_empty() {
+            return Err(VniDbError::ClaimInUse);
+        }
+        self.release(Vni(row.vni), now)
+    }
+
+    /// Count of currently allocated VNIs.
+    pub fn allocated_count(&self) -> usize {
+        self.rows().iter().filter(|r| r.state == VniState::Allocated).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> VniDb {
+        VniDb::new(VniDbConfig { range: 1024..1030, quarantine: SimDur::from_secs(30) })
+    }
+
+    fn job(key: &str) -> VniOwner {
+        VniOwner::Job { key: key.to_string() }
+    }
+
+    #[test]
+    fn acquire_hands_out_distinct_vnis() {
+        let mut db = db();
+        let a = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        let b = db.acquire(job("ns/b"), SimTime::ZERO).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(db.allocated_count(), 2);
+        assert_eq!(db.audit_len(), 2);
+    }
+
+    #[test]
+    fn acquire_is_idempotent_per_owner() {
+        let mut db = db();
+        let a1 = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        let a2 = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(db.allocated_count(), 1);
+    }
+
+    #[test]
+    fn quarantine_blocks_reuse_for_thirty_seconds() {
+        let mut db = db();
+        // Exhaust the 6-wide range.
+        for i in 0..6 {
+            db.acquire(job(&format!("ns/j{i}")), SimTime::ZERO).unwrap();
+        }
+        assert_eq!(db.acquire(job("ns/late"), SimTime::ZERO).unwrap_err(), VniDbError::Exhausted);
+        // Release one at t=10s.
+        db.release(Vni(1024), SimTime::from_nanos(10_000_000_000)).unwrap();
+        // 29.9s after release: still quarantined.
+        let t_early = SimTime::from_nanos(39_900_000_000);
+        assert_eq!(db.acquire(job("ns/late"), t_early).unwrap_err(), VniDbError::Exhausted);
+        // 30s after release: reusable.
+        let t_ok = SimTime::from_nanos(40_000_000_000);
+        assert_eq!(db.acquire(job("ns/late"), t_ok).unwrap(), Vni(1024));
+    }
+
+    #[test]
+    fn release_requires_allocated_state() {
+        let mut db = db();
+        assert_eq!(db.release(Vni(1024), SimTime::ZERO).unwrap_err(), VniDbError::NotFound);
+        db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.release(Vni(1024), SimTime::ZERO).unwrap();
+        assert_eq!(db.release(Vni(1024), SimTime::ZERO).unwrap_err(), VniDbError::NotFound);
+    }
+
+    #[test]
+    fn claim_users_lifecycle() {
+        let mut db = db();
+        let claim = VniOwner::Claim { key: "ns/shared".into() };
+        let v = db.acquire(claim, SimTime::ZERO).unwrap();
+        db.add_user(v, "ns/job1", SimTime::ZERO).unwrap();
+        db.add_user(v, "ns/job2", SimTime::ZERO).unwrap();
+        db.add_user(v, "ns/job1", SimTime::ZERO).unwrap(); // idempotent
+        assert_eq!(db.row(v).unwrap().users.len(), 2);
+        // Deletion stalls while users remain.
+        assert_eq!(
+            db.release_claim("ns/shared", SimTime::ZERO).unwrap_err(),
+            VniDbError::ClaimInUse
+        );
+        assert_eq!(db.remove_user(v, "ns/job1", SimTime::ZERO).unwrap(), 1);
+        assert_eq!(db.remove_user(v, "ns/job2", SimTime::ZERO).unwrap(), 0);
+        db.release_claim("ns/shared", SimTime::ZERO).unwrap();
+        assert_eq!(db.allocated_count(), 0);
+    }
+
+    #[test]
+    fn find_by_claim_resolves_redemption() {
+        let mut db = db();
+        let v = db
+            .acquire(VniOwner::Claim { key: "tenant/experiment".into() }, SimTime::ZERO)
+            .unwrap();
+        let row = db.find_by_claim("tenant/experiment").unwrap();
+        assert_eq!(row.vni, v.raw());
+        assert!(db.find_by_claim("tenant/other").is_none());
+    }
+
+    #[test]
+    fn audit_log_records_every_operation() {
+        let mut db = db();
+        let v = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.add_user(v, "u", SimTime::ZERO).unwrap();
+        db.remove_user(v, "u", SimTime::ZERO).unwrap();
+        db.release(v, SimTime::ZERO).unwrap();
+        let events: Vec<String> = db.audit().into_iter().map(|e| e.event).collect();
+        assert_eq!(events, vec!["acquire", "add_user:u", "remove_user:u", "release"]);
+    }
+
+    #[test]
+    fn state_survives_crash_recovery() {
+        let mut db = db();
+        let v = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.add_user(v, "u", SimTime::ZERO).unwrap();
+        let mut rng = shs_des::DetRng::new(4);
+        let disk = db.into_store().crash(&mut rng);
+        let db2 = VniDb::recover(
+            disk,
+            VniDbConfig { range: 1024..1030, quarantine: SimDur::from_secs(30) },
+        );
+        let row = db2.row(v).unwrap();
+        assert_eq!(row.state, VniState::Allocated);
+        assert_eq!(row.users, vec!["u".to_string()]);
+        assert_eq!(db2.audit_len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dynamic RDMA Credentials (DRC).
+//!
+//! §II-C mentions the "HPE-provided Dynamic RDMA Credential (DRC)
+//! mechanism ... which allows users to request new VNIs at run time" as
+//! the pre-existing alternative to static onboarding or Slurm-managed
+//! services. We model a minimal broker: credentials own a VNI drawn from
+//! a dedicated range and list the uids allowed to redeem them; redeeming
+//! realises a CXI service on a node. The VNI Service of the paper
+//! supersedes this for Kubernetes, but the broker is kept as a baseline
+//! management path (and exercised by the ablation bench).
+
+use std::collections::BTreeMap;
+
+use shs_cassini::SvcId;
+use shs_fabric::Vni;
+use shs_oslinux::{Creds, Uid};
+
+use crate::driver::CxiError;
+use crate::libcxi::CxiDevice;
+use crate::svc::{CxiServiceDesc, SvcMember};
+
+/// A credential handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DrcId(pub u64);
+
+/// An issued credential.
+#[derive(Debug, Clone)]
+pub struct DrcCredential {
+    /// Handle.
+    pub id: DrcId,
+    /// VNI owned by this credential.
+    pub vni: Vni,
+    /// Uids allowed to redeem the credential (host uids).
+    pub authorized: Vec<Uid>,
+}
+
+/// DRC broker errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrcError {
+    /// The VNI range is exhausted.
+    Exhausted,
+    /// Unknown credential.
+    NoSuchCredential,
+    /// Caller is not authorized to redeem the credential.
+    NotAuthorized,
+    /// Underlying CXI failure.
+    Cxi(CxiError),
+}
+
+impl From<CxiError> for DrcError {
+    fn from(e: CxiError) -> Self {
+        DrcError::Cxi(e)
+    }
+}
+
+/// The DRC broker: owns a contiguous VNI range distinct from the VNI
+/// Service's range.
+#[derive(Debug)]
+pub struct DrcBroker {
+    range: core::ops::Range<u16>,
+    next: u16,
+    creds: BTreeMap<DrcId, DrcCredential>,
+    next_id: u64,
+}
+
+impl DrcBroker {
+    /// Broker over `[lo, hi)`.
+    pub fn new(range: core::ops::Range<u16>) -> Self {
+        let next = range.start;
+        DrcBroker { range, next, creds: BTreeMap::new(), next_id: 1 }
+    }
+
+    /// Issue a fresh credential owned by `owner`.
+    pub fn acquire(&mut self, owner: Uid) -> Result<DrcCredential, DrcError> {
+        if self.next >= self.range.end {
+            return Err(DrcError::Exhausted);
+        }
+        let vni = Vni(self.next);
+        self.next += 1;
+        let id = DrcId(self.next_id);
+        self.next_id += 1;
+        let cred = DrcCredential { id, vni, authorized: vec![owner] };
+        self.creds.insert(id, cred.clone());
+        Ok(cred)
+    }
+
+    /// Allow another uid to redeem an existing credential (cross-user
+    /// sharing, the DRC "grant" operation).
+    pub fn grant(&mut self, id: DrcId, uid: Uid) -> Result<(), DrcError> {
+        let c = self.creds.get_mut(&id).ok_or(DrcError::NoSuchCredential)?;
+        if !c.authorized.contains(&uid) {
+            c.authorized.push(uid);
+        }
+        Ok(())
+    }
+
+    /// Release a credential. The VNI is retired (this minimal broker does
+    /// not recycle).
+    pub fn release(&mut self, id: DrcId) -> Result<(), DrcError> {
+        self.creds.remove(&id).map(|_| ()).ok_or(DrcError::NoSuchCredential)
+    }
+
+    /// Look up a credential.
+    pub fn credential(&self, id: DrcId) -> Option<&DrcCredential> {
+        self.creds.get(&id)
+    }
+
+    /// Redeem a credential on a node: creates a CXI service admitting the
+    /// credential's authorized uids on its VNI. Requires privilege (the
+    /// node agent performs this), like the Slurm `slurmd` flow of §II-C.
+    pub fn redeem(
+        &self,
+        id: DrcId,
+        node_root: &Creds,
+        device: &mut CxiDevice,
+        caller_uid: Uid,
+    ) -> Result<SvcId, DrcError> {
+        let cred = self.creds.get(&id).ok_or(DrcError::NoSuchCredential)?;
+        if !cred.authorized.contains(&caller_uid) {
+            return Err(DrcError::NotAuthorized);
+        }
+        let desc = CxiServiceDesc {
+            members: cred.authorized.iter().map(|&u| SvcMember::Uid(u)).collect(),
+            vnis: vec![cred.vni],
+            limits: Default::default(),
+            label: format!("drc-{}", id.0),
+        };
+        Ok(device.alloc_svc(node_root, desc)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::CxiDriver;
+    use shs_cassini::{CassiniNic, CassiniParams};
+    use shs_des::DetRng;
+    use shs_fabric::{NicAddr, TrafficClass};
+    use shs_oslinux::{Gid, Host, Pid};
+
+    #[test]
+    fn acquire_yields_distinct_vnis_until_exhausted() {
+        let mut broker = DrcBroker::new(100..103);
+        let a = broker.acquire(Uid(1)).unwrap();
+        let b = broker.acquire(Uid(1)).unwrap();
+        let c = broker.acquire(Uid(1)).unwrap();
+        assert_eq!(
+            vec![a.vni, b.vni, c.vni],
+            vec![Vni(100), Vni(101), Vni(102)]
+        );
+        assert_eq!(broker.acquire(Uid(1)).unwrap_err(), DrcError::Exhausted);
+    }
+
+    #[test]
+    fn redeem_creates_usable_service() {
+        let mut host = Host::new("n0");
+        let nic = CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(1));
+        let mut dev = CxiDevice::new(CxiDriver::extended(), nic);
+        let root = host.credentials(Pid(1)).unwrap();
+        let mut broker = DrcBroker::new(100..200);
+
+        let app = host.spawn_detached("app", Uid(1000), Gid(1000));
+        let cred = broker.acquire(Uid(1000)).unwrap();
+        broker.redeem(cred.id, &root, &mut dev, Uid(1000)).unwrap();
+        dev.ep_alloc(&host, app, cred.vni, TrafficClass::Dedicated).unwrap();
+    }
+
+    #[test]
+    fn redeem_rejects_unauthorized_uid() {
+        let host = Host::new("n0");
+        let nic = CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(2));
+        let mut dev = CxiDevice::new(CxiDriver::extended(), nic);
+        let root = host.credentials(Pid(1)).unwrap();
+        let mut broker = DrcBroker::new(100..200);
+        let cred = broker.acquire(Uid(1000)).unwrap();
+        assert_eq!(
+            broker.redeem(cred.id, &root, &mut dev, Uid(2000)).unwrap_err(),
+            DrcError::NotAuthorized
+        );
+        broker.grant(cred.id, Uid(2000)).unwrap();
+        broker.redeem(cred.id, &root, &mut dev, Uid(2000)).unwrap();
+    }
+
+    #[test]
+    fn release_retires_credential() {
+        let mut broker = DrcBroker::new(100..200);
+        let cred = broker.acquire(Uid(1)).unwrap();
+        broker.release(cred.id).unwrap();
+        assert_eq!(broker.release(cred.id).unwrap_err(), DrcError::NoSuchCredential);
+        assert!(broker.credential(cred.id).is_none());
+    }
+}

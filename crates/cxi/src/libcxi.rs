@@ -1,0 +1,127 @@
+//! The userspace library layer (`libcxi` equivalent): a facade over the
+//! per-node driver + NIC pair, mirroring the call flow the paper patches
+//! (§II-C/§III-A): applications ask for a VNI, the library scans CXI
+//! services for one that admits the caller and offers the VNI, then
+//! allocates the endpoint.
+
+use shs_cassini::{CassiniNic, EpIdx, SvcId};
+use shs_fabric::{TrafficClass, Vni};
+use shs_oslinux::{Creds, Host, Pid};
+
+use crate::driver::{CxiDriver, CxiError};
+use crate::svc::CxiServiceDesc;
+
+/// One node's CXI device: the driver instance plus the NIC it manages.
+/// This is what `/dev/cxi0` plus the loaded kernel module amount to.
+#[derive(Debug)]
+pub struct CxiDevice {
+    /// The kernel driver state.
+    pub driver: CxiDriver,
+    /// The Cassini NIC.
+    pub nic: CassiniNic,
+}
+
+impl CxiDevice {
+    /// Assemble a device.
+    pub fn new(driver: CxiDriver, nic: CassiniNic) -> Self {
+        CxiDevice { driver, nic }
+    }
+
+    /// `cxil_alloc_svc`: privileged service creation.
+    pub fn alloc_svc(&mut self, caller: &Creds, desc: CxiServiceDesc) -> Result<SvcId, CxiError> {
+        self.driver.svc_alloc(caller, desc, &mut self.nic)
+    }
+
+    /// `cxil_destroy_svc`: privileged service destruction.
+    pub fn destroy_svc(&mut self, caller: &Creds, id: SvcId) -> Result<usize, CxiError> {
+        self.driver.svc_destroy(caller, id, &mut self.nic)
+    }
+
+    /// The application-side endpoint allocation flow: find an admitting
+    /// service for `vni`, then allocate the endpoint under it.
+    pub fn ep_alloc(
+        &mut self,
+        host: &Host,
+        pid: Pid,
+        vni: Vni,
+        tc: TrafficClass,
+    ) -> Result<EpIdx, CxiError> {
+        let svc = self.driver.find_service(host, pid, vni)?;
+        self.driver.ep_alloc(host, pid, svc, vni, tc, &mut self.nic)
+    }
+
+    /// Endpoint allocation against an explicitly named service.
+    pub fn ep_alloc_on(
+        &mut self,
+        host: &Host,
+        pid: Pid,
+        svc: SvcId,
+        vni: Vni,
+        tc: TrafficClass,
+    ) -> Result<EpIdx, CxiError> {
+        self.driver.ep_alloc(host, pid, svc, vni, tc, &mut self.nic)
+    }
+
+    /// Free an endpoint.
+    pub fn ep_free(&mut self, ep: EpIdx) -> Result<(), CxiError> {
+        Ok(self.nic.free_endpoint(ep)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svc::SvcMember;
+    use shs_cassini::CassiniParams;
+    use shs_des::DetRng;
+    use shs_fabric::NicAddr;
+    use shs_oslinux::{Gid, Uid};
+
+    fn device() -> (Host, CxiDevice) {
+        let host = Host::new("n0");
+        let nic = CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(3));
+        (host, CxiDevice::new(CxiDriver::extended(), nic))
+    }
+
+    #[test]
+    fn ep_alloc_scans_services_like_libcxi() {
+        let (mut host, mut dev) = device();
+        let root = host.credentials(Pid(1)).unwrap();
+        let app = host.spawn_detached("app", Uid(1000), Gid(1000));
+        let desc = CxiServiceDesc {
+            members: vec![SvcMember::Uid(Uid(1000))],
+            vnis: vec![Vni(5)],
+            limits: Default::default(),
+            label: "app".into(),
+        };
+        dev.alloc_svc(&root, desc).unwrap();
+        let ep = dev.ep_alloc(&host, app, Vni(5), TrafficClass::Dedicated).unwrap();
+        assert_eq!(dev.nic.endpoint(ep).unwrap().vni, Vni(5));
+        dev.ep_free(ep).unwrap();
+        assert_eq!(
+            dev.ep_alloc(&host, app, Vni(6), TrafficClass::Dedicated).unwrap_err(),
+            CxiError::AuthFailed
+        );
+    }
+
+    #[test]
+    fn destroy_svc_counts_endpoints() {
+        let (mut host, mut dev) = device();
+        let root = host.credentials(Pid(1)).unwrap();
+        let app = host.spawn_detached("app", Uid(1000), Gid(1000));
+        let id = dev
+            .alloc_svc(
+                &root,
+                CxiServiceDesc {
+                    members: vec![SvcMember::AllUsers],
+                    vnis: vec![Vni(5)],
+                    limits: Default::default(),
+                    label: "x".into(),
+                },
+            )
+            .unwrap();
+        dev.ep_alloc(&host, app, Vni(5), TrafficClass::Dedicated).unwrap();
+        dev.ep_alloc(&host, app, Vni(5), TrafficClass::Dedicated).unwrap();
+        assert_eq!(dev.destroy_svc(&root, id).unwrap(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! The event-driven simulation kernel.
+//!
+//! [`Sim`] owns a user-supplied world `W` plus a priority queue of timed
+//! events; an event is any `FnOnce(&mut Sim<W>)`, so handlers can freely
+//! inspect the world, mutate it, and schedule follow-up events. Ties in
+//! time are broken by insertion order, which keeps execution fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDur, SimTime};
+
+/// A scheduled event: a boxed closure over the simulation.
+pub type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, with the
+        // sequence number as a deterministic tie-break.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event simulator over a world `W`.
+pub struct Sim<W> {
+    /// The simulated world. Public so event closures and drivers can reach
+    /// all component state directly.
+    pub world: W,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    executed: u64,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulator at time zero.
+    pub fn new(world: W) -> Self {
+        Sim {
+            world,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` at absolute time `t`. Scheduling in the past is a
+    /// logic error and panics (debug builds) or clamps to `now` (release).
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        debug_assert!(t >= self.now, "scheduling into the past: {t} < {}", self.now);
+        let t = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time: t, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` after a relative delay.
+    #[inline]
+    pub fn after(&mut self, d: SimDur, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        self.at(self.now + d, f);
+    }
+
+    /// Execute the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now);
+                self.now = ev.time;
+                self.executed += 1;
+                (ev.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or simulated time would pass `deadline`.
+    /// Events scheduled exactly at the deadline still execute; the clock
+    /// is advanced to the deadline if the queue empties earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run while `pred` holds and events remain.
+    pub fn run_while(&mut self, mut pred: impl FnMut(&Sim<W>) -> bool) {
+        while pred(self) && self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+        count: u32,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(W::default());
+        sim.at(SimTime::from_nanos(30), |s| s.world.log.push((s.now().as_nanos(), "c")));
+        sim.at(SimTime::from_nanos(10), |s| s.world.log.push((s.now().as_nanos(), "a")));
+        sim.at(SimTime::from_nanos(20), |s| s.world.log.push((s.now().as_nanos(), "b")));
+        sim.run();
+        assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Sim::new(W::default());
+        for name in ["first", "second", "third"] {
+            sim.at(SimTime::from_nanos(5), move |s| s.world.log.push((5, name)));
+        }
+        sim.run();
+        let names: Vec<_> = sim.world.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim = Sim::new(W::default());
+        sim.at(SimTime::from_nanos(1), |s| {
+            s.world.count += 1;
+            s.after(SimDur::from_nanos(4), |s2| {
+                s2.world.count += 10;
+                assert_eq!(s2.now().as_nanos(), 5);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world.count, 11);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Sim::new(W::default());
+        sim.at(SimTime::from_nanos(10), |s| s.world.count += 1);
+        sim.at(SimTime::from_nanos(20), |s| s.world.count += 1);
+        sim.at(SimTime::from_nanos(30), |s| s.world.count += 1);
+        sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(sim.world.count, 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world.count, 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = Sim::new(W::default());
+        sim.run_until(SimTime::from_nanos(500));
+        assert_eq!(sim.now(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut sim = Sim::new(W::default());
+        for i in 0..10u64 {
+            sim.at(SimTime::from_nanos(i), |s| s.world.count += 1);
+        }
+        sim.run_while(|s| s.world.count < 4);
+        assert_eq!(sim.world.count, 4);
+    }
+
+    #[test]
+    fn recursive_self_rescheduling_terminates_by_predicate() {
+        // A "process" that re-arms itself forever; run_while bounds it.
+        fn tick(s: &mut Sim<W>) {
+            s.world.count += 1;
+            s.after(SimDur::from_micros(1), tick);
+        }
+        let mut sim = Sim::new(W::default());
+        sim.at(SimTime::ZERO, tick);
+        sim.run_while(|s| s.world.count < 100);
+        assert_eq!(sim.world.count, 100);
+        assert_eq!(sim.now().as_nanos(), 99_000);
+    }
+
+    #[test]
+    fn closures_can_capture_shared_state() {
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(W::default());
+        for i in [3u64, 1, 2] {
+            let out = Rc::clone(&out);
+            sim.at(SimTime::from_nanos(i), move |_| out.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*out.borrow(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # shs-fabric — the simulated Slingshot fabric
+//!
+//! Models the parts of the Slingshot network that the paper's security
+//! and performance arguments rest on (§II-B/§II-C):
+//!
+//! * a Rosetta-like switch with **per-port VNI enforcement tables** — a
+//!   packet is only routed when both the sender and the receiver port
+//!   have been granted its VNI ([`switch::Switch`]);
+//! * 200 Gb/s links with a cut-through timing model calibrated to
+//!   Slingshot magnitudes ([`packet::CostModel`], [`fabric::Fabric`]);
+//! * four traffic classes with deficit-weighted egress arbitration
+//!   ([`switch::WrrArbiter`]) for the co-scheduling use case of §I.
+//!
+//! The crate is sans-IO: all functions take `now` and return outcomes or
+//! arrival instants; the composition layer schedules the actual events.
+
+pub mod fabric;
+pub mod packet;
+pub mod pktsim;
+pub mod switch;
+pub mod types;
+
+pub use fabric::{Fabric, TransferOutcome, VniTraffic};
+pub use pktsim::{simulate_contention, ClassStats, Flow};
+pub use packet::{segment, CostModel, Packet};
+pub use switch::{DropReason, Switch, SwitchConfig, SwitchCounters, Verdict, WrrArbiter};
+pub use types::{NicAddr, PortId, TrafficClass, Vni};

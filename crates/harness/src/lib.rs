@@ -1,0 +1,26 @@
+//! # shs-harness — evaluation harness for the paper's tables and figures
+//!
+//! One module per experiment family:
+//! * [`table1`] — the software inventory (Table I);
+//! * [`comm`] — the communication-overhead experiments (Figs. 5-8):
+//!   `osu_bw`/`osu_latency` on host vs `vni:false` vs `vni:true`;
+//! * [`admission`] — the job-admission experiments (Figs. 9-12): ramp
+//!   and spike tests with and without the integration;
+//! * [`report`] — rendering into console tables, ASCII plots and CSVs;
+//! * [`output`] — sinks and plotting primitives.
+//!
+//! The `repro` binary exposes each figure as a subcommand; EXPERIMENTS.md
+//! records paper-vs-measured for every one.
+
+pub mod admission;
+pub mod comm;
+pub mod output;
+pub mod report;
+pub mod table1;
+
+pub use admission::{
+    median_overhead_pct, ramp_batches, run_admission, run_pattern, AdmissionRun,
+    AdmissionSeries, JobRecord, JobTracker, Pattern,
+};
+pub use comm::{run_comm, CommConfig, CommResult, Metric, ModeSamples};
+pub use output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};

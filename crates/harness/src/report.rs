@@ -1,0 +1,239 @@
+//! Experiment reports: turn raw results into the console tables, ASCII
+//! plots, and CSV files that mirror the paper's figures.
+
+use shs_des::stats::Boxplot;
+
+use crate::admission::{median_overhead_pct, AdmissionSeries};
+use crate::comm::{CommResult, Metric};
+use crate::output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};
+
+/// Figs. 5/7: absolute metric, three configurations.
+pub fn report_comm_absolute(fig: &str, res: &CommResult, sink: &OutputSink) -> String {
+    let unit = match res.metric {
+        Metric::Bandwidth => "MB/s",
+        Metric::Latency => "us",
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{fig}: average {} via {} — sizes 1B..1MB\n",
+        match res.metric {
+            Metric::Bandwidth => "throughput",
+            Metric::Latency => "latency",
+        },
+        match res.metric {
+            Metric::Bandwidth => "osu_bw",
+            Metric::Latency => "osu_latency",
+        },
+    ));
+    out.push_str(&format!("{:>10} {:>14} {:>14} {:>14}\n", "size", "vni:true", "vni:false", "host"));
+    let t = res.mean_of("vni:true");
+    let f = res.mean_of("vni:false");
+    let h = res.mean_of("host");
+    let mut rows = Vec::new();
+    for (i, &size) in res.sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>10} {:>14.3} {:>14.3} {:>14.3}\n",
+            fmt_size(size),
+            t[i],
+            f[i],
+            h[i]
+        ));
+        rows.push(format!("{size},{:.6},{:.6},{:.6}", t[i], f[i], h[i]));
+    }
+    sink.csv(
+        &format!("{}.csv", fig.to_lowercase().replace(' ', "_")),
+        &format!("size_bytes,vni_true_{unit},vni_false_{unit},host_{unit}"),
+        &rows,
+    );
+    let series = vec![
+        Series { name: "vni:true".into(), points: res.sizes.iter().zip(&t).map(|(&s, &v)| (s as f64, v)).collect() },
+        Series { name: "vni:false".into(), points: res.sizes.iter().zip(&f).map(|(&s, &v)| (s as f64, v)).collect() },
+        Series { name: "host".into(), points: res.sizes.iter().zip(&h).map(|(&s, &v)| (s as f64, v)).collect() },
+    ];
+    out.push_str(&ascii_plot(&format!("{fig} ({unit})"), &series, true, true, 64, 16));
+    out
+}
+
+/// Figs. 6/8: overhead (%) vs host baseline with p10/p90 bands.
+pub fn report_comm_overhead(fig: &str, res: &CommResult, sink: &OutputSink) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{fig}: average {} overhead vs host baseline (%, p10..p90)\n",
+        match res.metric {
+            Metric::Bandwidth => "throughput",
+            Metric::Latency => "latency",
+        }
+    ));
+    out.push_str(&format!(
+        "{:>10} {:>24} {:>24} {:>24}\n",
+        "size", "vni:true", "vni:false", "host(jitter)"
+    ));
+    let t = res.overhead_of("vni:true");
+    let f = res.overhead_of("vni:false");
+    let h = res.overhead_of("host");
+    let mut rows = Vec::new();
+    let mut max_abs: f64 = 0.0;
+    for (i, &size) in res.sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>10} {:>7.3}% [{:>6.3},{:>6.3}] {:>7.3}% [{:>6.3},{:>6.3}] {:>7.3}% [{:>6.3},{:>6.3}]\n",
+            fmt_size(size),
+            t[i].0, t[i].1, t[i].2,
+            f[i].0, f[i].1, f[i].2,
+            h[i].0, h[i].1, h[i].2,
+        ));
+        rows.push(format!(
+            "{size},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            t[i].0, t[i].1, t[i].2, f[i].0, f[i].1, f[i].2, h[i].0, h[i].1, h[i].2
+        ));
+        for v in [t[i].0, f[i].0] {
+            max_abs = max_abs.max(v.abs());
+        }
+    }
+    sink.csv(
+        &format!("{}.csv", fig.to_lowercase().replace(' ', "_")),
+        "size_bytes,true_mean,true_p10,true_p90,false_mean,false_p10,false_p90,host_mean,host_p10,host_p90",
+        &rows,
+    );
+    out.push_str(&format!(
+        "--> max |mean overhead| across sizes: {max_abs:.3}% (paper: \"remains within 1%\")\n"
+    ));
+    out
+}
+
+/// Figs. 9/11: running jobs over time.
+pub fn report_running(
+    fig: &str,
+    with: &AdmissionSeries,
+    without: &AdmissionSeries,
+    batches: Option<&[usize]>,
+    sink: &OutputSink,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{fig}: actively running jobs over time (mean of runs)\n"));
+    let wt = with.running_series();
+    let wf = without.running_series();
+    let mut rows = Vec::new();
+    let n = wt.len().max(wf.len());
+    for i in 0..n {
+        let t = i as u64 + 1;
+        let a = wt.get(i).map_or(0.0, |r| r.1);
+        let b = wf.get(i).map_or(0.0, |r| r.1);
+        let subm = batches.and_then(|bs| bs.get(i)).copied().unwrap_or(0);
+        rows.push(format!("{t},{a:.2},{b:.2},{subm}"));
+    }
+    sink.csv(
+        &format!("{}.csv", fig.to_lowercase().replace(' ', "_")),
+        "second,vni_true_running,vni_false_running,submitted_per_batch",
+        &rows,
+    );
+    let peak_t = wt.iter().map(|r| r.1).fold(0.0, f64::max);
+    let peak_f = wf.iter().map(|r| r.1).fold(0.0, f64::max);
+    out.push_str(&format!(
+        "peak running: vni:true {peak_t:.0}, vni:false {peak_f:.0}; duration: {} s\n",
+        n
+    ));
+    let series = vec![
+        Series { name: "vni:true".into(), points: wt.iter().map(|r| (r.0 as f64, r.1)).collect() },
+        Series { name: "vni:false".into(), points: wf.iter().map(|r| (r.0 as f64, r.1)).collect() },
+    ];
+    out.push_str(&ascii_plot(&format!("{fig} running jobs"), &series, false, false, 64, 14));
+    out
+}
+
+/// Fig. 10: admission delay per batch.
+pub fn report_delay_by_batch(
+    fig: &str,
+    with: &AdmissionSeries,
+    without: &AdmissionSeries,
+    sink: &OutputSink,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{fig}: job admission delay per batch (s, mean [p10,p90])\n"));
+    out.push_str(&format!("{:>6} {:>24} {:>24}\n", "batch", "vni:true", "vni:false"));
+    let t = with.delay_by_batch();
+    let f = without.delay_by_batch();
+    let mut rows = Vec::new();
+    for i in 0..t.len().max(f.len()) {
+        let (bt, mt, lt, ht) = t.get(i).copied().unwrap_or((i, f64::NAN, f64::NAN, f64::NAN));
+        let (_, mf, lf, hf) = f.get(i).copied().unwrap_or((i, f64::NAN, f64::NAN, f64::NAN));
+        out.push_str(&format!(
+            "{bt:>6} {mt:>8.2} [{lt:>5.2},{ht:>5.2}] {mf:>8.2} [{lf:>5.2},{hf:>5.2}]\n"
+        ));
+        rows.push(format!("{bt},{mt:.4},{lt:.4},{ht:.4},{mf:.4},{lf:.4},{hf:.4}"));
+    }
+    sink.csv(
+        &format!("{}.csv", fig.to_lowercase().replace(' ', "_")),
+        "batch,true_mean,true_p10,true_p90,false_mean,false_p10,false_p90",
+        &rows,
+    );
+    // The knee: find the first batch where mean delay exceeds 2x batch-0.
+    if let (Some(first), true) = (f.first(), f.len() > 8) {
+        let knee = f.iter().find(|r| r.1 > 2.0 * first.1.max(0.5)).map(|r| r.0);
+        if let Some(k) = knee {
+            out.push_str(&format!(
+                "--> delay knee at batch {k} (paper: \"job startup delay starts around batch 7\")\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 12: admission-delay boxplots + headline median overhead.
+pub fn report_boxplots(
+    ramp: (&AdmissionSeries, &AdmissionSeries),
+    spike: (&AdmissionSeries, &AdmissionSeries),
+    sink: &OutputSink,
+) -> String {
+    let mut out = String::new();
+    out.push_str("Fig 12: admission delay distributions (boxplots)\n");
+    let mut rows = Vec::new();
+    for (test, (with, without)) in [("ramp", ramp), ("spike", spike)] {
+        let scale = [with, without]
+            .iter()
+            .flat_map(|s| s.all_delays())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        out.push_str(&format!("  ({test} test)\n"));
+        for s in [with, without] {
+            let delays = s.all_delays();
+            if let Some(b) = Boxplot::from(&delays) {
+                out.push_str(&format!("  {}\n", ascii_boxplot(s.name, &b, scale, 48)));
+                rows.push(format!(
+                    "{test},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                    s.name, b.whisker_lo, b.q1, b.median, b.q3, b.whisker_hi
+                ));
+            }
+        }
+        let oh = median_overhead_pct(with, without);
+        out.push_str(&format!("  median admission overhead ({test}): {oh:.2}%\n"));
+    }
+    out.push_str("  (paper: 3.5% ramp, 1.6% spike — 'minimal overhead')\n");
+    sink.csv(
+        "fig12.csv",
+        "test,config,whisker_lo,q1,median,q3,whisker_hi",
+        &rows,
+    );
+    out
+}
+
+/// Small helper used by reports and tests: does a series stay within a
+/// band around zero?
+pub fn within_band(series: &[(f64, f64, f64)], band_pct: f64) -> bool {
+    series.iter().all(|(m, _, _)| m.abs() <= band_pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_band_checks_means() {
+        assert!(within_band(&[(0.3, -1.0, 1.0), (-0.8, -2.0, 0.1)], 1.0));
+        assert!(!within_band(&[(1.5, 0.0, 2.0)], 1.0));
+    }
+
+    #[test]
+    fn stats_reexports_work() {
+        assert_eq!(shs_des::stats::median(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # shs-k8s — Kubernetes-lite control plane
+//!
+//! The Kubernetes subset the paper's integration plugs into: an API
+//! server with typed-by-kind dynamic objects, resource versions, watches,
+//! finalizers and cascading owner deletion ([`api`]); Jobs/Pods/Nodes
+//! ([`objects`]); a job controller ([`job`]); a topology-spread-aware
+//! scheduler ([`scheduler`]); a kubelet pod pipeline with bounded worker
+//! pools ([`kubelet`]); and a Metacontroller-style DecoratorController
+//! with `/sync` + `/finalize` webhook apply semantics
+//! ([`metacontroller`]) — the mechanism the paper's VNI Controller is
+//! built on (§III-C).
+//!
+//! Everything is poll-driven (controllers are pure state machines driven
+//! by a periodic control-plane tick), which keeps the whole cluster
+//! deterministic under simulation.
+
+pub mod api;
+pub mod job;
+pub mod kubelet;
+pub mod metacontroller;
+pub mod objects;
+pub mod scheduler;
+
+pub use api::{ApiError, ApiObject, ApiParams, ApiServer, ObjectMeta, WatchEvent, WatchType};
+pub use job::{JobController, KUBELET_FINALIZER};
+pub use kubelet::{CniAddOutcome, Kubelet, KubeletCounters, KubeletParams, NodeBackend};
+pub use metacontroller::{
+    DecoratorConfig, DecoratorCounters, DecoratorHooks, FinalizeResponse, Metacontroller,
+    SyncResponse,
+};
+pub use objects::{
+    kinds, make_job, make_node, pod_phase, spec_of, status_of, JobSpec, JobStatus, PodPhase,
+    PodSpec, PodStatus, PodTemplate, VNI_ANNOTATION,
+};
+pub use scheduler::{bound_node, Scheduler};

@@ -1,0 +1,20 @@
+//! # shs-mpi — MPI-lite and the OSU micro-benchmark clones
+//!
+//! The measurement layer of the paper's §IV-A: a two-rank MPI-style
+//! world over the libfabric layer ([`pair::RankPair`]) with blocking
+//! send/receive and barrier, plus faithful reimplementations of
+//! `osu_latency` (blocking ping-pong, half round trip) and `osu_bw`
+//! (windowed non-blocking sends + ack) from the OSU Micro-Benchmarks 7.3
+//! suite ([`osu`]).
+//!
+//! Ranks carry explicit virtual-time cursors, so a full 1 B..1 MB sweep
+//! is an ordinary function call — no event loop on the hot path.
+
+pub mod osu;
+pub mod pair;
+
+pub use osu::{
+    osu_bibw_once, osu_bw_once, osu_bw_sweep, osu_latency_once, osu_latency_sweep, paper_sizes, reset_clocks,
+    OsuParams, OsuPoint,
+};
+pub use pair::{PairDevices, RankPair};

@@ -1,0 +1,366 @@
+//! OSU micro-benchmark clones (§IV-A): `osu_latency` and `osu_bw`.
+//!
+//! Measurement loops mirror OSU 7.3: latency is a blocking ping-pong
+//! averaged over iterations and halved; bandwidth posts a window of
+//! non-blocking sends per iteration, waits for all local completions and
+//! a zero-byte ack, and reports MB/s (MB = 1e6 bytes). The paper sweeps
+//! packet sizes 1 B .. 1 MB.
+
+use shs_des::SimTime;
+use shs_ofi::CompKind;
+
+use crate::pair::{PairDevices, RankPair};
+
+/// The size sweep used in Figs. 5-8 (1 B to 1 MiB in powers of two).
+pub fn paper_sizes() -> Vec<u64> {
+    (0..=20).map(|i| 1u64 << i).collect()
+}
+
+/// OSU benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct OsuParams {
+    /// Message sizes to sweep.
+    pub sizes: Vec<u64>,
+    /// Measured iterations per size.
+    pub iterations: u32,
+    /// Warmup iterations per size (excluded from timing).
+    pub warmup: u32,
+    /// In-flight messages per iteration of `osu_bw` (OSU default: 64).
+    pub window: u32,
+}
+
+impl Default for OsuParams {
+    fn default() -> Self {
+        OsuParams { sizes: paper_sizes(), iterations: 200, warmup: 20, window: 64 }
+    }
+}
+
+impl OsuParams {
+    /// The paper's full-scale configuration: 10 k iterations for
+    /// bandwidth, 20 k for latency (§IV-A). Expensive; the harness
+    /// defaults to a scaled-down but shape-identical configuration.
+    pub fn paper_scale_bw() -> Self {
+        OsuParams { iterations: 10_000, warmup: 100, ..Default::default() }
+    }
+
+    /// Paper-scale latency configuration.
+    pub fn paper_scale_latency() -> Self {
+        OsuParams { iterations: 20_000, warmup: 100, ..Default::default() }
+    }
+}
+
+/// One (size, value) measurement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsuPoint {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Metric value: µs for latency, MB/s for bandwidth.
+    pub value: f64,
+}
+
+/// `osu_latency`: average one-way latency (µs) for one message size.
+pub fn osu_latency_once(
+    pair: &mut RankPair,
+    devs: &mut PairDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+) -> f64 {
+    let mut measured_rtt_ns: u128 = 0;
+    for it in 0..(warmup + iterations) {
+        let tag = 0x10_0000 + it as u64;
+        let start = pair.t_a;
+        pair.send_a_to_b(devs, tag, size);
+        pair.recv_on_b(tag);
+        pair.send_b_to_a(devs, tag, size);
+        pair.recv_on_a(tag);
+        if it >= warmup {
+            measured_rtt_ns += (pair.t_a - start).as_nanos() as u128;
+        }
+    }
+    // One-way latency in µs: RTT / 2, averaged.
+    measured_rtt_ns as f64 / iterations as f64 / 2.0 / 1000.0
+}
+
+/// `osu_bw`: bandwidth (MB/s, MB = 1e6) for one message size.
+pub fn osu_bw_once(
+    pair: &mut RankPair,
+    devs: &mut PairDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+    window: u32,
+) -> f64 {
+    let mut start = pair.t_a;
+    for it in 0..(warmup + iterations) {
+        if it == warmup {
+            pair.barrier(devs, 0xB000_0000 + it as u64);
+            start = pair.t_a;
+        }
+        let base_tag = 0x20_0000 + (it as u64) * (window as u64 + 1);
+        // Receiver pre-posts the window.
+        for w in 0..window {
+            pair.t_b = pair.b.trecv(pair.t_b, base_tag + w as u64, 0, w as u64);
+        }
+        // Sender posts the window of non-blocking sends.
+        for w in 0..window {
+            let (t, msg) = pair.a.tsend(
+                pair.t_a,
+                devs.dev_a,
+                devs.fabric,
+                pair.b.addr,
+                base_tag + w as u64,
+                size,
+                w as u64,
+            );
+            pair.t_a = t;
+            if let Some(msg) = msg {
+                pair.b.deliver(devs.dev_b, msg);
+            }
+        }
+        // Sender waits for all local completions (MPI_Waitall on isends).
+        for _ in 0..window {
+            let (t, c) = pair.a.cq_wait(pair.t_a).expect("send completion");
+            debug_assert_eq!(c.kind, CompKind::Send);
+            pair.t_a = t;
+        }
+        // Receiver drains its window (MPI_Waitall on irecvs).
+        for _ in 0..window {
+            if let Some((t, c)) = pair.b.cq_wait(pair.t_b) {
+                debug_assert_eq!(c.kind, CompKind::Recv);
+                pair.t_b = t;
+            }
+        }
+        // Receiver acks the window with a zero-byte message.
+        let ack_tag = base_tag + window as u64;
+        pair.t_a = pair.a.trecv(pair.t_a, ack_tag, 0, 0);
+        let (t, msg) =
+            pair.b.tsend(pair.t_b, devs.dev_b, devs.fabric, pair.a.addr, ack_tag, 0, 0);
+        pair.t_b = t;
+        if let Some(msg) = msg {
+            pair.a.deliver(devs.dev_a, msg);
+        }
+        // Drain b's send completion.
+        if let Some((t, _)) = pair.b.cq_wait(pair.t_b) {
+            pair.t_b = t;
+        }
+        // a waits for the ack.
+        if let Some((t, c)) = pair.a.cq_wait(pair.t_a) {
+            debug_assert_eq!(c.kind, CompKind::Recv);
+            pair.t_a = t;
+        }
+    }
+    let elapsed_ns = (pair.t_a - start).as_nanos();
+    let bytes = size as u128 * window as u128 * iterations as u128;
+    bytes as f64 / (elapsed_ns as f64 / 1e9) / 1e6
+}
+
+/// `osu_bibw`: bidirectional bandwidth (MB/s) for one message size —
+/// both ranks stream a window to each other concurrently, so the figure
+/// approaches twice the unidirectional rate on a full-duplex link.
+pub fn osu_bibw_once(
+    pair: &mut RankPair,
+    devs: &mut PairDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+    window: u32,
+) -> f64 {
+    let mut start = pair.t_a.max(pair.t_b);
+    for it in 0..(warmup + iterations) {
+        if it == warmup {
+            pair.barrier(devs, 0xD000_0000 + it as u64);
+            start = pair.t_a;
+        }
+        let base = 0x40_0000 + (it as u64) * (2 * window as u64 + 2);
+        // Both sides pre-post their receive windows.
+        for w in 0..window {
+            pair.t_b = pair.b.trecv(pair.t_b, base + w as u64, 0, w as u64);
+            pair.t_a = pair.a.trecv(pair.t_a, base + window as u64 + w as u64, 0, w as u64);
+        }
+        // Both sides post their send windows (full duplex).
+        for w in 0..window {
+            let (ta, msg_ab) = pair.a.tsend(
+                pair.t_a, devs.dev_a, devs.fabric, pair.b.addr, base + w as u64, size, w as u64,
+            );
+            pair.t_a = ta;
+            if let Some(m) = msg_ab {
+                pair.b.deliver(devs.dev_b, m);
+            }
+            let (tb, msg_ba) = pair.b.tsend(
+                pair.t_b,
+                devs.dev_b,
+                devs.fabric,
+                pair.a.addr,
+                base + window as u64 + w as u64,
+                size,
+                w as u64,
+            );
+            pair.t_b = tb;
+            if let Some(m) = msg_ba {
+                pair.a.deliver(devs.dev_a, m);
+            }
+        }
+        // Drain all completions on both sides (sends + recvs).
+        for _ in 0..(2 * window) {
+            if let Some((t, _)) = pair.a.cq_wait(pair.t_a) {
+                pair.t_a = t;
+            }
+            if let Some((t, _)) = pair.b.cq_wait(pair.t_b) {
+                pair.t_b = t;
+            }
+        }
+        // Synchronize for the next iteration.
+        let sync = pair.t_a.max(pair.t_b);
+        pair.t_a = sync;
+        pair.t_b = sync;
+    }
+    let elapsed_ns = (pair.t_a.max(pair.t_b) - start).as_nanos();
+    let bytes = 2 * size as u128 * window as u128 * iterations as u128;
+    bytes as f64 / (elapsed_ns as f64 / 1e9) / 1e6
+}
+
+/// Run the full latency sweep.
+pub fn osu_latency_sweep(
+    pair: &mut RankPair,
+    devs: &mut PairDevices<'_>,
+    params: &OsuParams,
+) -> Vec<OsuPoint> {
+    params
+        .sizes
+        .iter()
+        .map(|&size| OsuPoint {
+            size,
+            value: osu_latency_once(pair, devs, size, params.iterations, params.warmup),
+        })
+        .collect()
+}
+
+/// Run the full bandwidth sweep.
+pub fn osu_bw_sweep(
+    pair: &mut RankPair,
+    devs: &mut PairDevices<'_>,
+    params: &OsuParams,
+) -> Vec<OsuPoint> {
+    params
+        .sizes
+        .iter()
+        .map(|&size| OsuPoint {
+            size,
+            value: osu_bw_once(pair, devs, size, params.iterations, params.warmup, params.window),
+        })
+        .collect()
+}
+
+/// Reset rank clocks between runs (the OSU binary restarts per run).
+pub fn reset_clocks(pair: &mut RankPair, at: SimTime) {
+    pair.t_a = at;
+    pair.t_b = at;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::tests::rig;
+    use shs_fabric::{TrafficClass, Vni};
+
+    fn pair_on(r: &mut crate::pair::tests::Rig) -> (RankPair, PairDevices<'_>) {
+        let mut devs =
+            PairDevices { dev_a: &mut r.dev_a, dev_b: &mut r.dev_b, fabric: &mut r.fabric };
+        let pair = RankPair::open(
+            &r.host_a,
+            r.pid_a,
+            &r.host_b,
+            r.pid_b,
+            &mut devs,
+            Vni::GLOBAL,
+            TrafficClass::Dedicated,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        (pair, devs)
+    }
+
+    #[test]
+    fn small_message_latency_is_about_two_microseconds() {
+        let mut r = rig(10);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let lat = osu_latency_once(&mut pair, &mut devs, 8, 200, 20);
+        assert!(lat > 0.8 && lat < 4.0, "8B one-way latency {lat}us");
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let mut r = rig(11);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let small = osu_latency_once(&mut pair, &mut devs, 8, 100, 10);
+        let large = osu_latency_once(&mut pair, &mut devs, 1 << 20, 20, 2);
+        assert!(large > 10.0 * small, "1MB {large}us vs 8B {small}us");
+        // 1 MiB one-way ≈ size/goodput + overheads ≈ 43-60 µs.
+        assert!(large > 30.0 && large < 90.0, "1MB latency {large}us");
+    }
+
+    #[test]
+    fn peak_bandwidth_approaches_line_rate() {
+        let mut r = rig(12);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let bw = osu_bw_once(&mut pair, &mut devs, 1 << 20, 20, 2, 64);
+        // Paper Fig. 5 plateau: ~24 GB/s on a 200 Gb/s link.
+        assert!(bw > 20_000.0 && bw < 25_000.0, "1MB bandwidth {bw} MB/s");
+    }
+
+    #[test]
+    fn small_message_bandwidth_is_rate_limited() {
+        let mut r = rig(13);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let bw = osu_bw_once(&mut pair, &mut devs, 1, 100, 10, 64);
+        // ~3 M msg/s × 1 B ≈ single-digit MB/s (Fig. 5 left edge).
+        assert!(bw > 0.5 && bw < 10.0, "1B bandwidth {bw} MB/s");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_size() {
+        let mut r = rig(14);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let params = OsuParams {
+            sizes: vec![1, 64, 4096, 1 << 18],
+            iterations: 30,
+            warmup: 3,
+            window: 32,
+        };
+        let points = osu_bw_sweep(&mut pair, &mut devs, &params);
+        for w in points.windows(2) {
+            assert!(
+                w[1].value > w[0].value,
+                "bw must grow: {} MB/s @{}B then {} MB/s @{}B",
+                w[0].value,
+                w[0].size,
+                w[1].value,
+                w[1].size
+            );
+        }
+    }
+
+    #[test]
+    fn bidirectional_bandwidth_exceeds_unidirectional() {
+        let mut r = rig(15);
+        let (mut pair, mut devs) = pair_on(&mut r);
+        let uni = osu_bw_once(&mut pair, &mut devs, 1 << 20, 15, 2, 32);
+        let bi = osu_bibw_once(&mut pair, &mut devs, 1 << 20, 15, 2, 32);
+        // Full-duplex links: bibw approaches 2x; at minimum it clearly
+        // exceeds the unidirectional figure.
+        assert!(bi > 1.5 * uni, "bibw {bi} vs bw {uni}");
+        assert!(bi < 2.2 * uni, "bibw cannot exceed 2x line rate: {bi} vs {uni}");
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = rig(seed);
+            let (mut pair, mut devs) = pair_on(&mut r);
+            osu_latency_once(&mut pair, &mut devs, 1024, 50, 5)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds, different jitter");
+    }
+}

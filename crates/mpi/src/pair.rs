@@ -1,0 +1,262 @@
+//! A two-rank MPI-lite world over the libfabric layer.
+//!
+//! Each rank carries its own virtual-time cursor; blocking MPI semantics
+//! (send returns at local completion, receive returns at delivery) are
+//! expressed by advancing the cursors to completion instants. The paper's
+//! point-to-point OSU benchmarks only ever involve two ranks.
+
+use shs_cxi::CxiDevice;
+use shs_des::SimTime;
+use shs_fabric::{Fabric, TrafficClass, Vni};
+use shs_ofi::{CompKind, OfiEp, OfiError};
+use shs_oslinux::{Host, Pid};
+
+/// Mutable borrows of the node devices + fabric a pair communicates over.
+pub struct PairDevices<'a> {
+    /// Rank 0's CXI device.
+    pub dev_a: &'a mut CxiDevice,
+    /// Rank 1's CXI device.
+    pub dev_b: &'a mut CxiDevice,
+    /// The fabric between them.
+    pub fabric: &'a mut Fabric,
+}
+
+impl PairDevices<'_> {
+    /// Begin a new measurement run (re-draw per-run NIC jitter, as
+    /// between repetitions of the paper's 10-run experiments).
+    pub fn new_run(&mut self) {
+        self.dev_a.nic.new_run();
+        self.dev_b.nic.new_run();
+    }
+}
+
+/// Two connected ranks.
+pub struct RankPair {
+    /// Rank 0 endpoint.
+    pub a: OfiEp,
+    /// Rank 1 endpoint.
+    pub b: OfiEp,
+    /// Rank 0 clock.
+    pub t_a: SimTime,
+    /// Rank 1 clock.
+    pub t_b: SimTime,
+}
+
+impl RankPair {
+    /// Open both endpoints through the full authenticated path (MPI_Init
+    /// + libfabric domain/endpoint bring-up). `pid_*` are the benchmark
+    /// processes — inside pods these live in the pod's network namespace
+    /// and authenticate via the netns CXI service member.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        host_a: &Host,
+        pid_a: Pid,
+        host_b: &Host,
+        pid_b: Pid,
+        devs: &mut PairDevices<'_>,
+        vni: Vni,
+        tc: TrafficClass,
+        start: SimTime,
+    ) -> Result<RankPair, OfiError> {
+        let a = OfiEp::open(host_a, devs.dev_a, pid_a, vni, tc)?;
+        let b = OfiEp::open(host_b, devs.dev_b, pid_b, vni, tc)?;
+        Ok(RankPair { a, b, t_a: start, t_b: start })
+    }
+
+    /// Blocking send from rank 0 to rank 1 (returns at rank-0 local
+    /// completion; delivers into rank 1's matching engine).
+    pub fn send_a_to_b(&mut self, devs: &mut PairDevices<'_>, tag: u64, len: u64) {
+        let (t, msg) = self.a.tsend(self.t_a, devs.dev_a, devs.fabric, self.b.addr, tag, len, tag);
+        self.t_a = t;
+        if let Some(msg) = msg {
+            self.b.deliver(devs.dev_b, msg);
+        }
+        // MPI_Send: block until the local completion.
+        if let Some((t, c)) = self.a.cq_wait(self.t_a) {
+            debug_assert_eq!(c.kind, CompKind::Send);
+            self.t_a = t;
+        }
+    }
+
+    /// Blocking send from rank 1 to rank 0.
+    pub fn send_b_to_a(&mut self, devs: &mut PairDevices<'_>, tag: u64, len: u64) {
+        let (t, msg) = self.b.tsend(self.t_b, devs.dev_b, devs.fabric, self.a.addr, tag, len, tag);
+        self.t_b = t;
+        if let Some(msg) = msg {
+            self.a.deliver(devs.dev_a, msg);
+        }
+        if let Some((t, c)) = self.b.cq_wait(self.t_b) {
+            debug_assert_eq!(c.kind, CompKind::Send);
+            self.t_b = t;
+        }
+    }
+
+    /// Blocking receive on rank 1 (posts, then waits for the matching
+    /// completion). Panics if nothing ever arrives — a hang, which in
+    /// tests indicates a (correctly) enforced isolation drop.
+    pub fn recv_on_b(&mut self, tag: u64) -> bool {
+        self.t_b = self.b.trecv(self.t_b, tag, 0, tag);
+        match self.b.cq_wait(self.t_b) {
+            Some((t, c)) if c.kind == CompKind::Recv => {
+                self.t_b = t;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocking receive on rank 0.
+    pub fn recv_on_a(&mut self, tag: u64) -> bool {
+        self.t_a = self.a.trecv(self.t_a, tag, 0, tag);
+        match self.a.cq_wait(self.t_a) {
+            Some((t, c)) if c.kind == CompKind::Recv => {
+                self.t_a = t;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Zero-byte barrier (ping + pong), synchronizing the two clocks.
+    pub fn barrier(&mut self, devs: &mut PairDevices<'_>, tag: u64) {
+        self.send_a_to_b(devs, tag, 0);
+        self.recv_on_b(tag);
+        self.send_b_to_a(devs, tag + 1, 0);
+        self.recv_on_a(tag + 1);
+        let sync = self.t_a.max(self.t_b);
+        self.t_a = sync;
+        self.t_b = sync;
+    }
+
+    /// Release both endpoints.
+    pub fn close(self, devs: &mut PairDevices<'_>) {
+        let _ = self.a.close(devs.dev_a);
+        let _ = self.b.close(devs.dev_b);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use shs_cassini::{CassiniNic, CassiniParams};
+    use shs_cxi::{CxiDriver, CxiServiceDesc};
+    use shs_des::DetRng;
+    use shs_fabric::NicAddr;
+    use shs_oslinux::{Gid, Uid};
+
+    pub(crate) struct Rig {
+        pub host_a: Host,
+        pub host_b: Host,
+        pub pid_a: Pid,
+        pub pid_b: Pid,
+        pub dev_a: CxiDevice,
+        pub dev_b: CxiDevice,
+        pub fabric: Fabric,
+    }
+
+    pub(crate) fn rig(seed: u64) -> Rig {
+        let mut host_a = Host::new("na");
+        let mut host_b = Host::new("nb");
+        let rng = DetRng::new(seed);
+        let mut fabric = Fabric::new(4);
+        let mut dev_a = CxiDevice::new(
+            CxiDriver::extended(),
+            CassiniNic::new(NicAddr(1), CassiniParams::default(), rng.derive("a")),
+        );
+        let mut dev_b = CxiDevice::new(
+            CxiDriver::extended(),
+            CassiniNic::new(NicAddr(2), CassiniParams::default(), rng.derive("b")),
+        );
+        fabric.attach(NicAddr(1));
+        fabric.attach(NicAddr(2));
+        fabric.grant_vni(NicAddr(1), Vni::GLOBAL);
+        fabric.grant_vni(NicAddr(2), Vni::GLOBAL);
+        let ra = host_a.credentials(Pid(1)).unwrap();
+        let rb = host_b.credentials(Pid(1)).unwrap();
+        dev_a.alloc_svc(&ra, CxiServiceDesc::default_service()).unwrap();
+        dev_b.alloc_svc(&rb, CxiServiceDesc::default_service()).unwrap();
+        let pid_a = host_a.spawn_detached("rank0", Uid(1000), Gid(1000));
+        let pid_b = host_b.spawn_detached("rank1", Uid(1000), Gid(1000));
+        Rig { host_a, host_b, pid_a, pid_b, dev_a, dev_b, fabric }
+    }
+
+    #[test]
+    fn ping_pong_advances_both_clocks() {
+        let mut r = rig(1);
+        let mut devs =
+            PairDevices { dev_a: &mut r.dev_a, dev_b: &mut r.dev_b, fabric: &mut r.fabric };
+        let mut pair = RankPair::open(
+            &r.host_a,
+            r.pid_a,
+            &r.host_b,
+            r.pid_b,
+            &mut devs,
+            Vni::GLOBAL,
+            TrafficClass::Dedicated,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        pair.send_a_to_b(&mut devs, 1, 8);
+        assert!(pair.recv_on_b(1));
+        pair.send_b_to_a(&mut devs, 2, 8);
+        assert!(pair.recv_on_a(2));
+        assert!(pair.t_a > SimTime::ZERO);
+        assert!(pair.t_b > SimTime::ZERO);
+        pair.close(&mut devs);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut r = rig(2);
+        let mut devs =
+            PairDevices { dev_a: &mut r.dev_a, dev_b: &mut r.dev_b, fabric: &mut r.fabric };
+        let mut pair = RankPair::open(
+            &r.host_a,
+            r.pid_a,
+            &r.host_b,
+            r.pid_b,
+            &mut devs,
+            Vni::GLOBAL,
+            TrafficClass::Dedicated,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // Skew the clocks.
+        pair.t_a = SimTime::from_nanos(5_000_000);
+        pair.barrier(&mut devs, 100);
+        assert_eq!(pair.t_a, pair.t_b);
+        pair.close(&mut devs);
+    }
+
+    #[test]
+    fn isolation_drop_surfaces_as_failed_recv() {
+        let mut r = rig(3);
+        // Grant a private VNI only on the NICs' services, not the switch:
+        let ra = r.host_a.credentials(Pid(1)).unwrap();
+        let rb = r.host_b.credentials(Pid(1)).unwrap();
+        let desc = |label: &str| CxiServiceDesc {
+            members: vec![shs_cxi::SvcMember::AllUsers],
+            vnis: vec![Vni(77)],
+            limits: Default::default(),
+            label: label.into(),
+        };
+        r.dev_a.alloc_svc(&ra, desc("a")).unwrap();
+        r.dev_b.alloc_svc(&rb, desc("b")).unwrap();
+        let mut devs =
+            PairDevices { dev_a: &mut r.dev_a, dev_b: &mut r.dev_b, fabric: &mut r.fabric };
+        let mut pair = RankPair::open(
+            &r.host_a,
+            r.pid_a,
+            &r.host_b,
+            r.pid_b,
+            &mut devs,
+            Vni(77),
+            TrafficClass::Dedicated,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        pair.send_a_to_b(&mut devs, 1, 8); // switch drops it silently
+        assert!(!pair.recv_on_b(1), "no data may cross a non-realised VNI");
+        pair.close(&mut devs);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the tagged-matching engine: libfabric ignore-mask
+//! semantics, FIFO ordering, and conservation of messages (every
+//! delivered message is either matched exactly once or parked in the
+//! unexpected queue — none lost, none duplicated).
+
+use proptest::prelude::*;
+use shs_cassini::{CassiniNic, CassiniParams};
+use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc};
+use shs_des::{DetRng, SimTime};
+use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
+use shs_ofi::{CompKind, OfiEp};
+use shs_oslinux::{Gid, Host, Pid, Uid};
+
+struct Rig {
+    host_a: Host,
+    host_b: Host,
+    pid_a: Pid,
+    pid_b: Pid,
+    dev_a: CxiDevice,
+    dev_b: CxiDevice,
+    fabric: Fabric,
+}
+
+fn rig(seed: u64) -> Rig {
+    let mut host_a = Host::new("pa");
+    let mut host_b = Host::new("pb");
+    let rng = DetRng::new(seed);
+    let mut fabric = Fabric::new(4);
+    let mut dev_a = CxiDevice::new(
+        CxiDriver::extended(),
+        CassiniNic::new(NicAddr(1), CassiniParams::default(), rng.derive("a")),
+    );
+    let mut dev_b = CxiDevice::new(
+        CxiDriver::extended(),
+        CassiniNic::new(NicAddr(2), CassiniParams::default(), rng.derive("b")),
+    );
+    fabric.attach(NicAddr(1));
+    fabric.attach(NicAddr(2));
+    fabric.grant_vni(NicAddr(1), Vni::GLOBAL);
+    fabric.grant_vni(NicAddr(2), Vni::GLOBAL);
+    let ra = host_a.credentials(Pid(1)).unwrap();
+    let rb = host_b.credentials(Pid(1)).unwrap();
+    dev_a.alloc_svc(&ra, CxiServiceDesc::default_service()).unwrap();
+    dev_b.alloc_svc(&rb, CxiServiceDesc::default_service()).unwrap();
+    let pid_a = host_a.spawn_detached("a", Uid(1), Gid(1));
+    let pid_b = host_b.spawn_detached("b", Uid(1), Gid(1));
+    Rig { host_a, host_b, pid_a, pid_b, dev_a, dev_b, fabric }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: for arbitrary interleavings of posts and sends with
+    /// small tag spaces (forcing collisions), every send is eventually
+    /// accounted for: matched completions + unexpected + unmatched posts
+    /// balance exactly.
+    #[test]
+    fn messages_are_conserved(
+        seed in 1u64..500,
+        // (is_post, tag) sequence; tags drawn from a tiny space.
+        script in prop::collection::vec((any::<bool>(), 0u64..4), 1..60),
+    ) {
+        let mut r = rig(seed);
+        let mut a = OfiEp::open(&r.host_a, &mut r.dev_a, r.pid_a, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let mut b = OfiEp::open(&r.host_b, &mut r.dev_b, r.pid_b, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut sends = 0usize;
+        let mut posts = 0usize;
+        for (is_post, tag) in script {
+            if is_post {
+                now = b.trecv(now, tag, 0, tag);
+                posts += 1;
+            } else {
+                let (t, msg) = a.tsend(now, &mut r.dev_a, &mut r.fabric, b.addr, tag, 8, tag);
+                now = t;
+                if let Some(m) = msg {
+                    b.deliver(&mut r.dev_b, m);
+                    sends += 1;
+                }
+            }
+        }
+        // Drain all receive completions far in the future.
+        let far = SimTime::from_nanos(u64::MAX / 2);
+        let mut matched = 0usize;
+        loop {
+            let (_, c) = b.cq_read(far);
+            match c {
+                Some(c) => {
+                    prop_assert_eq!(c.kind, CompKind::Recv);
+                    matched += 1;
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(matched + b.unexpected_depth(), sends, "sends conserved");
+        prop_assert_eq!(matched + b.posted_depth(), posts, "posts conserved");
+    }
+
+    /// FIFO per matching tag: with a single tag value, completion contexts
+    /// arrive in post order and payload lengths in send order.
+    #[test]
+    fn fifo_order_within_a_tag(n in 1usize..20, seed in 1u64..200) {
+        let mut r = rig(seed);
+        let mut a = OfiEp::open(&r.host_a, &mut r.dev_a, r.pid_a, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let mut b = OfiEp::open(&r.host_b, &mut r.dev_b, r.pid_b, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let mut now = SimTime::ZERO;
+        for i in 0..n {
+            now = b.trecv(now, 7, 0, i as u64);
+        }
+        for i in 0..n {
+            let (t, msg) = a.tsend(now, &mut r.dev_a, &mut r.fabric, b.addr, 7, (i + 1) as u64, 0);
+            now = t;
+            b.deliver(&mut r.dev_b, msg.unwrap());
+        }
+        let far = SimTime::from_nanos(u64::MAX / 2);
+        for i in 0..n {
+            let (_, c) = b.cq_read(far);
+            let c = c.expect("completion");
+            prop_assert_eq!(c.ctx, i as u64, "post order");
+            prop_assert_eq!(c.len, (i + 1) as u64, "send order");
+        }
+    }
+
+    /// Ignore-mask algebra: a receive with mask M matches exactly the
+    /// tags t where (t ^ posted) & !M == 0 — checked against a direct
+    /// evaluation for random masks.
+    #[test]
+    fn ignore_mask_semantics(
+        posted_tag in any::<u64>(),
+        mask in any::<u64>(),
+        incoming in any::<u64>(),
+        seed in 1u64..200,
+    ) {
+        let mut r = rig(seed);
+        let mut a = OfiEp::open(&r.host_a, &mut r.dev_a, r.pid_a, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let mut b = OfiEp::open(&r.host_b, &mut r.dev_b, r.pid_b, Vni::GLOBAL, TrafficClass::Dedicated).unwrap();
+        let now = b.trecv(SimTime::ZERO, posted_tag, mask, 1);
+        let (_, msg) = a.tsend(now, &mut r.dev_a, &mut r.fabric, b.addr, incoming, 8, 0);
+        b.deliver(&mut r.dev_b, msg.unwrap());
+        let should_match = (incoming ^ posted_tag) & !mask == 0;
+        let far = SimTime::from_nanos(u64::MAX / 2);
+        let (_, c) = b.cq_read(far);
+        prop_assert_eq!(c.is_some(), should_match);
+        prop_assert_eq!(b.unexpected_depth(), usize::from(!should_match));
+    }
+}

@@ -1,0 +1,19 @@
+//! # shs-oslinux — simulated Linux substrate
+//!
+//! Minimal-but-faithful model of the kernel facilities the Slingshot
+//! access model interacts with: processes and their credentials, user
+//! namespaces with UID/GID maps (including the container-root
+//! `setuid`-spoofing behaviour that motivates the paper), and network
+//! namespaces with kernel-assigned, unforgeable inode identities that the
+//! extended CXI driver authenticates against (§III-A of the paper).
+//!
+//! One [`Host`] instance models one node's kernel; a cluster is a
+//! collection of hosts wired to the fabric by `slingshot-k8s`.
+
+pub mod host;
+pub mod ids;
+pub mod ns;
+
+pub use host::{Creds, Host, OsError, Process};
+pub use ids::{Gid, NetNsId, Pid, Uid, UserNsId};
+pub use ns::{IdMapEntry, NetNamespace, UserNamespace};

@@ -1,0 +1,27 @@
+//! # shs-vnistore — embedded ACID store (the paper's SQLite substitute)
+//!
+//! The VNI Database of §III-C2 "stores all allocated VNIs and their
+//! associated users" plus an audit log, and relies on SQLite's ACID
+//! transactions to make multi-step operations (check-then-allocate)
+//! atomic under the multi-threaded VNI Controller. SQLite itself is out
+//! of scope for this reproduction's dependency budget, so this crate
+//! provides the same guarantees from scratch:
+//!
+//! * named tables of byte keys/values ([`Store`]),
+//! * single-writer **serializable transactions** with read-your-writes
+//!   ([`Txn`]),
+//! * durability via a CRC-framed **write-ahead log** ([`wal`]) on a
+//!   simulated device with explicit fsync/crash semantics ([`SimDisk`]),
+//! * snapshot checkpoints and **crash recovery** that tolerate torn
+//!   tails.
+//!
+//! The crash-consistency property (no committed VNI allocation is ever
+//! lost, no partial transaction is ever visible) is property-tested in
+//! `tests/acid.rs`.
+
+pub mod disk;
+pub mod store;
+pub mod wal;
+
+pub use disk::SimDisk;
+pub use store::{Store, StoreConfig, StoreStats, Txn};

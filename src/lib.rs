@@ -1,0 +1,1 @@
+pub use slingshot_k8s as core_api;
