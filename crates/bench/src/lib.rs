@@ -1,0 +1,5 @@
+//! `shs-bench` carries the workspace's Criterion benchmark targets (see
+//! `benches/`): `micro` times the hot and security-critical paths,
+//! `figures` regenerates each paper table/figure once per sample, and
+//! `ablation` sweeps design alternatives (webhook latency, recovery
+//! policy, DRC vs CNI credential paths). Run them with `cargo bench`.

@@ -1,12 +1,12 @@
 //! The VNI Database (§III-C2): typed schema over the ACID store.
 //!
 //! Tables:
-//! * `vnis`       — one row per VNI that is allocated or quarantined,
-//!                  including its owner and (for claims) its user list;
-//! * `audit_log`  — append-only log of every allocation, release, and
-//!                  user add/remove, as the paper requires ("we keep a
-//!                  log for all VNI allocation and release requests, as
-//!                  well as VNI user addition and removal requests").
+//! * `vnis` — one row per VNI that is allocated or quarantined,
+//!   including its owner and (for claims) its user list;
+//! * `audit_log` — append-only log of every allocation, release, and
+//!   user add/remove, as the paper requires ("we keep a log for all VNI
+//!   allocation and release requests, as well as VNI user addition and
+//!   removal requests").
 //!
 //! Every public operation is a single serializable transaction, so the
 //! check-then-allocate races the paper worries about (§III-C2 TOCTOU)
@@ -305,6 +305,9 @@ impl VniDb {
         let mut txn = self.store.begin();
         let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
         let mut row = Self::decode_row(&bytes);
+        if row.state != VniState::Allocated {
+            return Err(VniDbError::NotFound);
+        }
         row.users.retain(|u| u != user);
         let remaining = row.users.len();
         txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));

@@ -1,11 +1,11 @@
 //! Communication-overhead experiments (paper §IV-A, Figs. 5-8).
 //!
 //! Three configurations, exactly as in the paper:
-//! * `host`      — OSU on bare metal, no Kubernetes involved;
+//! * `host` — OSU on bare metal, no Kubernetes involved;
 //! * `vni:false` — OSU inside pods, Slingshot via the globally
-//!                 accessible VNI (integration disabled);
-//! * `vni:true`  — OSU inside pods with the full integration: VNI
-//!                 Service allocation + netns-member CXI service.
+//!   accessible VNI (integration disabled);
+//! * `vni:true` — OSU inside pods with the full integration: VNI
+//!   Service allocation + netns-member CXI service.
 //!
 //! Authentication happens only at endpoint creation, so the measured
 //! data path is identical in all three; observed differences are pure

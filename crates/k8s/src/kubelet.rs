@@ -278,8 +278,7 @@ impl Kubelet {
         let mut progressed = false;
         let keys: Vec<(String, String)> = self.work.keys().cloned().collect();
         for key in keys {
-            loop {
-                let Some(w) = self.work.get_mut(&key) else { break };
+            while let Some(w) = self.work.get_mut(&key) {
                 match w.stage.clone() {
                     Stage::CreatingSandbox { done } if done <= now => {
                         match backend.cni_add(api, &w.pod, w.netns.expect("sandbox created")) {

@@ -44,9 +44,9 @@ pub struct RankPair {
 
 impl RankPair {
     /// Open both endpoints through the full authenticated path (MPI_Init
-    /// + libfabric domain/endpoint bring-up). `pid_*` are the benchmark
-    /// processes — inside pods these live in the pod's network namespace
-    /// and authenticate via the netns CXI service member.
+    /// plus libfabric domain/endpoint bring-up). `pid_*` are the
+    /// benchmark processes — inside pods these live in the pod's network
+    /// namespace and authenticate via the netns CXI service member.
     #[allow(clippy::too_many_arguments)]
     pub fn open(
         host_a: &Host,

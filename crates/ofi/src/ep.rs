@@ -120,10 +120,10 @@ pub struct OfiEp {
 }
 
 impl OfiEp {
-    /// Open an endpoint: runs the full authenticated CXI path (`fi_domain`
-    /// + `fi_endpoint` + EP allocation through the driver member check).
-    /// This is the *only* place authentication happens — everything after
-    /// is kernel-bypass.
+    /// Open an endpoint: runs the full authenticated CXI path
+    /// (`fi_domain`, then `fi_endpoint`, then EP allocation through the
+    /// driver member check). This is the *only* place authentication
+    /// happens — everything after is kernel-bypass.
     pub fn open(
         host: &Host,
         device: &mut CxiDevice,

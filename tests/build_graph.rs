@@ -1,0 +1,45 @@
+//! Build-graph smoke test: every example and bench target must at least
+//! type-check. `cargo test` already builds the root examples, but bench
+//! targets (`test = false`, `harness = false`) are otherwise only
+//! compiled by an explicit `--benches` pass — this test closes that gap
+//! so a broken bench or example fails the tier-1 suite, not just CI.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The workspace root (the root package's manifest dir IS the root).
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn examples_and_benches_typecheck() {
+    let root = workspace_root();
+    for (name, path) in [
+        ("quickstart", "examples/quickstart.rs"),
+        ("multi_tenant_isolation", "examples/multi_tenant_isolation.rs"),
+        ("vni_claims", "examples/vni_claims.rs"),
+        ("coscheduling_traffic_classes", "examples/coscheduling_traffic_classes.rs"),
+        ("system_monitoring", "examples/system_monitoring.rs"),
+        ("micro", "crates/bench/benches/micro.rs"),
+        ("figures", "crates/bench/benches/figures.rs"),
+        ("ablation", "crates/bench/benches/ablation.rs"),
+    ] {
+        assert!(
+            root.join(path).is_file(),
+            "expected target `{name}` at {path}; was it moved without updating this test?"
+        );
+    }
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .current_dir(root)
+        .args(["check", "--workspace", "--examples", "--benches", "--quiet"])
+        .output()
+        .expect("spawn cargo check");
+    assert!(
+        output.status.success(),
+        "`cargo check --workspace --examples --benches` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -1,0 +1,180 @@
+//! Vendored, network-free subset of the `criterion` API.
+//!
+//! Implements the pieces the `shs-bench` targets use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!` (both plain and `name/config/targets` forms) and
+//! `criterion_main!` — with a simple wall-clock measurement loop:
+//! a short warmup, then `sample_size` samples of adaptively-batched
+//! iterations, reporting min/mean/max ns per iteration to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and report sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on total measurement wall-clock per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Parse CLI args. This stub accepts and ignores everything (cargo
+    /// passes `--bench`, harness filters, etc.).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, &id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Override measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(self.criterion, &full, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<String>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    budget: Duration,
+    /// Collected per-iteration timings in ns, one entry per sample.
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in batches across the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.results_ns
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: c.sample_size,
+        budget: c.measurement_time,
+        results_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.results_ns.is_empty() {
+        println!("{id:50} (no samples)");
+        return;
+    }
+    let n = b.results_ns.len() as f64;
+    let mean = b.results_ns.iter().sum::<f64>() / n;
+    let min = b.results_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.results_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!("{id:50} [min {min:>12.1} ns  mean {mean:>12.1} ns  max {max:>12.1} ns]");
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group runner function from benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! Vendored, network-free subset of the `proptest` API.
+//!
+//! Implements the surface this workspace uses — `proptest!`,
+//! `prop_oneof!`, `prop_assert*!`, `Strategy`/`prop_map`, `Just`,
+//! `any::<T>()`, integer-range strategies, tuple strategies and
+//! `prop::collection::vec` — over a deterministic splitmix64 RNG, so CI
+//! runs are reproducible by construction:
+//!
+//! * case seeds derive from the test's name and case index only;
+//! * `proptest-regressions/<file>.txt` files next to a test's crate are
+//!   replayed first (lines of `cc 0x<seed>`), mirroring real proptest's
+//!   regression-persistence workflow;
+//! * `PROPTEST_SEED=0x<hex>` prepends one extra seed for ad-hoc replay.
+//!
+//! No shrinking is performed: failures report the seed and the generated
+//! inputs instead, and committing the seed pins the case forever.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice between strategies producing one value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+}
+
+/// Fallible assertion: fails the current case (with the generated
+/// inputs attached) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), __l
+        );
+    }};
+}
+
+/// Define property tests. Accepts an optional leading
+/// `#![proptest_config(expr)]` followed by any number of
+/// `fn name(arg in strategy, ...) { body }` items carrying ordinary
+/// attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($config:expr);) => {};
+    (cfg = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, ::core::file!(), ::core::stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = ::std::format!(
+                    ::core::concat!($(::core::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __result: $crate::TestCaseResult =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                __result.map_err(|__e| __e.with_inputs(&__inputs))
+            });
+        }
+        $crate::__proptest_items! { cfg = ($config); $($rest)* }
+    };
+}

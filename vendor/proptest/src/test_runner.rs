@@ -1,0 +1,237 @@
+//! The deterministic case runner: seeding, regression replay, reporting.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test (regression seeds run extra).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The inputs were unsuitable; the case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+
+    #[doc(hidden)]
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\n  inputs: {inputs}"))
+            }
+            reject => reject,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift keeps this unbiased enough for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `proptest-regressions/<test-file-stem>.txt` relative to the crate
+/// under test, same layout as real proptest's persistence files.
+fn regression_path(test_file: &str) -> Option<PathBuf> {
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let stem = Path::new(test_file).file_stem()?.to_str()?.to_string();
+    Some(
+        Path::new(&manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt")),
+    )
+}
+
+fn parse_seed(tok: &str) -> Option<u64> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Committed regression seeds: lines of `cc <seed>`, `#` comments
+/// ignored. Missing file means no extra seeds.
+fn regression_seeds(test_file: &str) -> Vec<u64> {
+    let Some(path) = regression_path(test_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc")?.trim();
+            parse_seed(rest.split_whitespace().next()?)
+        })
+        .collect()
+}
+
+/// Run one property: regression seeds first, then `config.cases`
+/// deterministically-derived seeds. Panics (failing the enclosing
+/// `#[test]`) on the first `Fail`, reporting the seed for replay.
+pub fn run(
+    config: &ProptestConfig,
+    test_file: &str,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut seeds = Vec::with_capacity(config.cases as usize + 2);
+    if let Some(seed) = std::env::var("PROPTEST_SEED").ok().and_then(|s| parse_seed(&s)) {
+        seeds.push((seed, "PROPTEST_SEED"));
+    }
+    let replayed = regression_seeds(test_file);
+    let n_regressions = replayed.len();
+    seeds.extend(replayed.into_iter().map(|s| (s, "regression file")));
+    let base = fnv1a(test_name) ^ fnv1a(test_file);
+    for i in 0..config.cases {
+        // splitmix the case index so neighboring tests don't correlate.
+        let mut mix = TestRng::new(base.wrapping_add(i as u64));
+        seeds.push((mix.next_u64(), "generated"));
+    }
+
+    let mut rejected = 0u32;
+    for (seed, origin) in seeds {
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "[proptest] {test_name} failed (seed 0x{seed:016x}, from {origin}):\n{msg}\n\
+                 replay: PROPTEST_SEED=0x{seed:016x} cargo test {test_name}\n\
+                 pin:    echo 'cc 0x{seed:016x}' >> proptest-regressions/<test-file>.txt"
+            ),
+        }
+    }
+    if rejected > config.cases / 2 {
+        panic!("[proptest] {test_name}: too many rejected cases ({rejected})");
+    }
+    let _ = n_regressions;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_file_seeds_parse_in_order() {
+        // Reads the committed fixture proptest-regressions/smoke.txt
+        // relative to this crate's CARGO_MANIFEST_DIR.
+        let seeds = regression_seeds("src/smoke.rs");
+        assert_eq!(seeds, vec![0xaa, 187, 0xdead_beef_0000_0001]);
+    }
+
+    #[test]
+    fn runner_replays_regression_seeds_before_generated_cases() {
+        let mut seen = Vec::new();
+        run(
+            &ProptestConfig::with_cases(3),
+            "src/smoke.rs",
+            "replay_order_probe",
+            |rng| {
+                seen.push(rng.clone());
+                let _ = rng.next_u64();
+                Ok(())
+            },
+        );
+        // 3 replayed + 3 generated (PROPTEST_SEED unset in tests).
+        assert_eq!(seen.len(), 6);
+        let states: Vec<u64> = seen.iter().map(|r| r.state).collect();
+        assert_eq!(&states[..3], &[0xaa, 187, 0xdead_beef_0000_0001]);
+    }
+
+    #[test]
+    fn missing_regression_file_is_empty() {
+        assert!(regression_seeds("src/no_such_test.rs").is_empty());
+    }
+
+    #[test]
+    fn generated_seeds_are_deterministic_per_test_name() {
+        let collect = |name: &str| {
+            let mut s = Vec::new();
+            run(&ProptestConfig::with_cases(4), "src/x.rs", name, |rng| {
+                s.push(rng.state);
+                Ok(())
+            });
+            s
+        };
+        assert_eq!(collect("alpha"), collect("alpha"), "same test, same seeds");
+        assert_ne!(collect("alpha"), collect("beta"), "names decorrelate seeds");
+    }
+}

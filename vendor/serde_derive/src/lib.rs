@@ -1,0 +1,634 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace builds offline, so `syn`/`quote` are unavailable; this
+//! crate parses the derive input token stream by hand. It supports the
+//! shapes used in this repository: structs with named fields, tuple
+//! structs, and enums with unit / newtype / tuple / struct variants,
+//! plus the field attributes `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(rename = "name")]` and
+//! `#[serde(flatten)]` (flatten is map-typed catch-all only, as in the
+//! CNI spec types). Generated impls target the value-tree model of the
+//! vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum DefaultKind {
+    /// Field required; absent keys go through `Deserialize::absent_field`.
+    Required,
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// Rust identifier, possibly raw (`r#virtual`).
+    ident: String,
+    /// JSON key (rename or ident with any `r#` stripped).
+    key: String,
+    default: DefaultKind,
+    flatten: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    ident: String,
+    key: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Consume `#[...]` attributes, returning serde-attribute token groups.
+    fn attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.peek_punct('#') {
+            self.next(); // '#'
+            // Inner attribute `#!` cannot appear here; expect the bracket group.
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.peek_ident("serde") {
+                    inner.next();
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        serde_attrs.push(args.stream());
+                    }
+                }
+            }
+        }
+        serde_attrs
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skip a `<...>` generics list if present (angle-depth counted).
+    fn skip_generics(&mut self) {
+        if !self.peek_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Skip a field's type up to a top-level comma (angle-depth aware).
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_attr(attr: TokenStream, field: &mut Field) {
+    let mut c = Cursor::new(attr);
+    while let Some(t) = c.next() {
+        let TokenTree::Ident(id) = t else { continue };
+        match id.to_string().as_str() {
+            "default" => {
+                if c.peek_punct('=') {
+                    c.next();
+                    if let Some(TokenTree::Literal(lit)) = c.next() {
+                        field.default = DefaultKind::Path(unquote(&lit.to_string()));
+                    }
+                } else {
+                    field.default = DefaultKind::Std;
+                }
+            }
+            "rename" if c.peek_punct('=') => {
+                c.next();
+                if let Some(TokenTree::Literal(lit)) = c.next() {
+                    field.key = unquote(&lit.to_string());
+                }
+            }
+            "flatten" => field.flatten = true,
+            // Unknown serde attributes are ignored rather than rejected:
+            // the repo only uses the four above.
+            _ => {}
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn json_key_of(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+/// Parse the contents of a `{ ... }` named-field list.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.attrs();
+        if c.at_end() {
+            break;
+        }
+        c.visibility();
+        let Some(TokenTree::Ident(name)) = c.next() else { break };
+        // ':' then the type.
+        if c.peek_punct(':') {
+            c.next();
+        }
+        c.skip_type();
+        if c.peek_punct(',') {
+            c.next();
+        }
+        let ident = name.to_string();
+        let mut field = Field {
+            key: json_key_of(&ident),
+            ident,
+            default: DefaultKind::Required,
+            flatten: false,
+        };
+        for a in attrs {
+            parse_serde_attr(a, &mut field);
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries of a `( ... )` tuple list.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    if c.at_end() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 && !c.at_end() => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let _attrs = c.attrs();
+        if c.at_end() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = c.next() else { break };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_tuple_fields(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a `= discr` if present, then the separating comma.
+        while !c.at_end() && !c.peek_punct(',') {
+            c.next();
+        }
+        if c.peek_punct(',') {
+            c.next();
+        }
+        let ident = name.to_string();
+        variants.push(Variant { key: json_key_of(&ident), ident, fields });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    let _ = c.attrs();
+    c.visibility();
+    let kw = loop {
+        match c.next() {
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    c.skip_generics();
+    // Skip a `where` clause if present (scan forward to the body group).
+    if kw == "struct" {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = Fields::Named(parse_named_fields(g.stream()));
+                Input::Struct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = Fields::Unnamed(count_tuple_fields(g.stream()));
+                Input::Struct { name, fields }
+            }
+            _ => Input::Struct { name, fields: Fields::Unit },
+        }
+    } else {
+        // Advance to the brace body (skips any where clause tokens).
+        loop {
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = parse_variants(g.stream());
+                    return Input::Enum { name, variants };
+                }
+                Some(_) => {
+                    c.next();
+                }
+                None => panic!("serde_derive: enum `{name}` has no body"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(out: &mut String, fields: &[Field], access: &dyn Fn(&Field) -> String) {
+    out.push_str("let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        let a = access(f);
+        if f.flatten {
+            out.push_str(&format!(
+                "if let ::serde::Value::Object(__o) = ::serde::Serialize::to_json_value(&{a}) {{ \
+                 for (__k, __val) in __o {{ __m.insert(__k, __val); }} }}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "__m.insert(::std::string::String::from(\"{key}\"), \
+                 ::serde::Serialize::to_json_value(&{a}));\n",
+                key = f.key
+            ));
+        }
+    }
+    out.push_str("::serde::Value::Object(__m)\n");
+}
+
+fn de_named_fields(out: &mut String, type_path: &str, obj: &str, fields: &[Field]) {
+    let known: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.flatten)
+        .map(|f| format!("\"{}\"", f.key))
+        .collect();
+    let known = known.join(", ");
+    out.push_str(&format!("{type_path} {{\n"));
+    for f in fields {
+        if f.flatten {
+            out.push_str(&format!(
+                "{ident}: {{ let mut __rest = ::serde::Map::new();\n\
+                 for (__k, __val) in {obj}.iter() {{\n\
+                     if ![{known}].contains(&__k.as_str()) {{ __rest.insert(__k.clone(), __val.clone()); }}\n\
+                 }}\n\
+                 ::serde::Deserialize::from_json_value(&::serde::Value::Object(__rest))? }},\n",
+                ident = f.ident
+            ));
+            continue;
+        }
+        let absent = match &f.default {
+            DefaultKind::Required => {
+                format!("::serde::Deserialize::absent_field(\"{}\")?", f.key)
+            }
+            DefaultKind::Std => "::core::default::Default::default()".to_string(),
+            DefaultKind::Path(p) => format!("{p}()"),
+        };
+        out.push_str(&format!(
+            "{ident}: match {obj}.get(\"{key}\") {{\n\
+                 ::core::option::Option::Some(__f) => ::serde::Deserialize::from_json_value(__f)?,\n\
+                 ::core::option::Option::None => {absent},\n\
+             }},\n",
+            ident = f.ident,
+            key = f.key
+        ));
+    }
+    out.push_str("}\n");
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let mut body = String::new();
+    let name = match input {
+        Input::Struct { name, fields } => {
+            match fields {
+                Fields::Named(fs) => {
+                    ser_named_fields(&mut body, fs, &|f| format!("self.{}", f.ident));
+                }
+                Fields::Unnamed(1) => {
+                    body.push_str("::serde::Serialize::to_json_value(&self.0)\n");
+                }
+                Fields::Unnamed(n) => {
+                    body.push_str("::serde::Value::Array(vec![\n");
+                    for i in 0..*n {
+                        body.push_str(&format!("::serde::Serialize::to_json_value(&self.{i}),\n"));
+                    }
+                    body.push_str("])\n");
+                }
+                Fields::Unit => body.push_str("::serde::Value::Null\n"),
+            }
+            name
+        }
+        Input::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vid} => ::serde::Value::String(::std::string::String::from(\"{key}\")),\n",
+                        vid = v.ident,
+                        key = v.key
+                    )),
+                    Fields::Unnamed(1) => body.push_str(&format!(
+                        "{name}::{vid}(__f0) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{key}\"), \
+                                 ::serde::Serialize::to_json_value(__f0));\n\
+                             ::serde::Value::Object(__outer)\n\
+                         }}\n",
+                        vid = v.ident,
+                        key = v.key
+                    )),
+                    Fields::Unnamed(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vid}({binds}) => {{\n\
+                                 let mut __outer = ::serde::Map::new();\n\
+                                 __outer.insert(::std::string::String::from(\"{key}\"), \
+                                     ::serde::Value::Array(vec![{elems}]));\n\
+                                 ::serde::Value::Object(__outer)\n\
+                             }}\n",
+                            vid = v.ident,
+                            key = v.key,
+                            binds = binders.join(", "),
+                            elems = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> = fs.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::new();
+                        ser_named_fields(&mut inner, fs, &|f| f.ident.clone());
+                        body.push_str(&format!(
+                            "{name}::{vid} {{ {binds} }} => {{\n\
+                                 let __inner = {{ {inner} }};\n\
+                                 let mut __outer = ::serde::Map::new();\n\
+                                 __outer.insert(::std::string::String::from(\"{key}\"), __inner);\n\
+                                 ::serde::Value::Object(__outer)\n\
+                             }}\n",
+                            vid = v.ident,
+                            key = v.key,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let mut body = String::new();
+    let name = match input {
+        Input::Struct { name, fields } => {
+            match fields {
+                Fields::Named(fs) => {
+                    body.push_str(&format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         ::core::result::Result::Ok("
+                    ));
+                    de_named_fields(&mut body, name, "__obj", fs);
+                    body.push_str(")\n");
+                }
+                Fields::Unnamed(1) => {
+                    body.push_str(&format!(
+                        "::core::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))\n"
+                    ));
+                }
+                Fields::Unnamed(n) => {
+                    body.push_str(&format!(
+                        "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         ::core::result::Result::Ok({name}(\n"
+                    ));
+                    for i in 0..*n {
+                        body.push_str(&format!(
+                            "::serde::Deserialize::from_json_value(&__arr[{i}])?,\n"
+                        ));
+                    }
+                    body.push_str("))\n");
+                }
+                Fields::Unit => {
+                    body.push_str(&format!("::core::result::Result::Ok({name})\n"));
+                }
+            }
+            name
+        }
+        Input::Enum { name, variants } => {
+            // Externally-tagged representation, as real serde defaults to.
+            body.push_str("match __v {\n::serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    body.push_str(&format!(
+                        "\"{key}\" => ::core::result::Result::Ok({name}::{vid}),\n",
+                        key = v.key,
+                        vid = v.ident
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+            ));
+            body.push_str(
+                "::serde::Value::Object(__o) if __o.len() == 1 => {\n\
+                 let (__k, __inner) = __o.iter().next().unwrap();\n\
+                 match __k.as_str() {\n",
+            );
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "\"{key}\" => ::core::result::Result::Ok({name}::{vid}),\n",
+                        key = v.key,
+                        vid = v.ident
+                    )),
+                    Fields::Unnamed(1) => body.push_str(&format!(
+                        "\"{key}\" => ::core::result::Result::Ok({name}::{vid}(\
+                         ::serde::Deserialize::from_json_value(__inner)?)),\n",
+                        key = v.key,
+                        vid = v.ident
+                    )),
+                    Fields::Unnamed(n) => {
+                        body.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vid}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong tuple arity for {name}::{vid}\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vid}(\n",
+                            key = v.key,
+                            vid = v.ident
+                        ));
+                        for i in 0..*n {
+                            body.push_str(&format!(
+                                "::serde::Deserialize::from_json_value(&__arr[{i}])?,\n"
+                            ));
+                        }
+                        body.push_str("))\n}\n");
+                    }
+                    Fields::Named(fs) => {
+                        body.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __vobj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vid}\"))?;\n\
+                             ::core::result::Result::Ok(",
+                            key = v.key,
+                            vid = v.ident
+                        ));
+                        de_named_fields(&mut body, &format!("{name}::{}", v.ident), "__vobj", fs);
+                        body.push_str(")\n}\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "_ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for enum {name}\")),\n}}\n"
+            ));
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}

@@ -1,0 +1,111 @@
+//! Vendored `serde_json` facade.
+//!
+//! The value tree, parser, and printer live in the vendored `serde`
+//! crate (single data model, no circular dependency); this crate
+//! provides the `serde_json` names the workspace imports: [`Value`],
+//! [`json!`], [`to_value`], [`from_value`], [`to_string`], [`to_vec`],
+//! [`from_str`], and [`from_slice`].
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+/// `Result` alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string_value(&value.to_json_value()))
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    T::from_json_value(&serde::json::parse_str(s)?)
+}
+
+/// Parse JSON bytes into a typed value.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8 in JSON"))?;
+    from_str(s)
+}
+
+#[doc(hidden)]
+pub fn __value_from<T: serde::Serialize>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports `null`, booleans,
+/// numbers, strings, arrays, nested objects with string-literal keys,
+/// and arbitrary serializable expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({} $($tt)*) };
+    ($other:expr) => { $crate::__value_from(&$other) };
+}
+
+/// Internal: array muncher. Accumulates completed element expressions in
+/// the leading bracket group.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done (every accumulated element carries a trailing comma).
+    ([ $($elems:expr,)* ]) => { $crate::Value::Array(vec![ $($elems),* ]) };
+    // Next element is a nested array or object (brace/bracket tt).
+    ([ $($elems:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elems,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($elems:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elems,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    ([ $($elems:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elems,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    // Plain expression element.
+    ([ $($elems:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elems,)* $crate::__value_from(&$next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: object muncher. Accumulates `key => value-expr` pairs in the
+/// leading brace group.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done (every accumulated pair carries a trailing comma).
+    ({ $($key:literal => $val:expr,)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert($key.to_string(), $val); )*
+        $crate::Value::Object(__m)
+    }};
+    // Nested object / array / null values.
+    ({ $($done:literal => $dv:expr,)* } $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::json!({ $($inner)* }), } $($($rest)*)?)
+    };
+    ({ $($done:literal => $dv:expr,)* } $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::json!([ $($inner)* ]), } $($($rest)*)?)
+    };
+    ({ $($done:literal => $dv:expr,)* } $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::Value::Null, } $($($rest)*)?)
+    };
+    // Plain expression value.
+    ({ $($done:literal => $dv:expr,)* } $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!({ $($done => $dv,)* $key => $crate::__value_from(&$val), } $($($rest)*)?)
+    };
+}
