@@ -1,7 +1,8 @@
 //! Container Network Interface (CNI) specification types.
 //!
 //! Follows the CNI spec the paper's plugin implements against
-//! ([6] in the paper): network configuration lists in JSON, the
+//! (reference \[6\] in the paper): network configuration lists in JSON,
+//! the
 //! ADD/DEL/CHECK verbs, structured results, and numbered error codes.
 
 use std::collections::BTreeMap;

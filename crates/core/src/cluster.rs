@@ -47,6 +47,12 @@ pub struct ClusterConfig {
     pub max_pods_per_node: u32,
     /// NIC timing model.
     pub nic_params: CassiniParams,
+    /// Periodic resync of the job-VNI decorator. `None` (the default)
+    /// only reacts to watch events, which matches the paper's webhook
+    /// deployment; scenarios that exercise VNI-range exhaustion need a
+    /// resync so a job whose acquisition failed is retried once the
+    /// quarantine window releases capacity.
+    pub vni_resync: Option<SimDur>,
 }
 
 impl Default for ClusterConfig {
@@ -60,6 +66,7 @@ impl Default for ClusterConfig {
             quarantine: SimDur::from_secs(30),
             max_pods_per_node: 256,
             nic_params: CassiniParams::default(),
+            vni_resync: None,
         }
     }
 }
@@ -309,7 +316,7 @@ impl Cluster {
                 annotation_filter: Some(VNI_ANNOTATION.into()),
                 child_kind: kinds::VNI.into(),
                 webhook_latency: config.webhook_latency,
-                resync_period: None,
+                resync_period: config.vni_resync,
             },
             EndpointHandle { endpoint: Rc::clone(&endpoint), role: EndpointRole::Jobs },
         );

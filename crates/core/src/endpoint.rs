@@ -121,7 +121,10 @@ impl VniEndpoint {
             match self.db.find_by_claim(&claim_key) {
                 Some(row) => {
                     let vni = Vni(row.vni);
-                    if self.db.add_user(vni, &job_key, now).is_ok() {
+                    // Re-syncs of an already-attached user are idempotent
+                    // and not counted (mirrors the dedicated path).
+                    let fresh = !row.users.iter().any(|u| u == &job_key);
+                    if self.db.add_user(vni, &job_key, now).is_ok() && fresh {
                         self.counters.redemptions += 1;
                     }
                     SyncResponse {

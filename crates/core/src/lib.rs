@@ -32,9 +32,16 @@
 pub mod cluster;
 pub mod cxi_cni;
 pub mod endpoint;
+pub mod scenario;
 pub mod vni_db;
 
 pub use cluster::{alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, PodHandle};
 pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
 pub use endpoint::{EndpointCounters, EndpointHandle, EndpointRole, VniCrdSpec, VniEndpoint};
-pub use vni_db::{AuditEntry, VniDb, VniDbConfig, VniDbError, VniOwner, VniRow, VniState};
+pub use scenario::{
+    by_name, library, run_scenario, ClaimPlan, Fault, JobPlan, Scenario, ScenarioReport,
+    TrafficPlan, VniMode,
+};
+pub use vni_db::{
+    AuditEntry, VniDb, VniDbConfig, VniDbError, VniDbStats, VniOwner, VniRow, VniState,
+};

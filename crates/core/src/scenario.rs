@@ -1,0 +1,1009 @@
+//! The end-to-end multi-tenant scenario engine.
+//!
+//! Everything below the composition layer is a pure state machine; this
+//! module is where the whole stack is driven as one system under the
+//! deterministic DES clock. A [`Scenario`] describes tenants, jobs,
+//! claims, traffic and fault injections; [`run_scenario`] schedules it
+//! as `shs_des::Sim` events over a real [`Cluster`] and checks tenant
+//! isolation **at every hop** while it runs:
+//!
+//! * pod admission goes through the real scheduler, kubelet, CNI chain
+//!   and VNI Service (admission latency is measured per job);
+//! * rank-to-rank traffic authenticates against the node's CXI driver
+//!   (netns member check) before it touches the fabric, exactly like an
+//!   RDMA application opening an endpoint;
+//! * every traffic round also mounts an **adversarial cross-tenant
+//!   probe**: a pod tries to authenticate against another tenant's VNI,
+//!   and — should the driver ever admit it — the fabric's per-port VNI
+//!   enforcement is the last line. Any delivery on a foreign VNI counts
+//!   as an isolation violation;
+//! * after the horizon, the engine audits the end state: no CXI service
+//!   may outlive its pod, no switch-port grant may outlive its VNI
+//!   allocation, and the [`VniDb`](crate::vni_db::VniDb) audit log must
+//!   show every VNI reuse separated by the full quarantine window.
+//!
+//! The built-in [`library`] covers the cluster-scale situations the
+//! paper's design must survive: steady multi-tenant operation, a
+//! churn/teardown storm, quarantine pressure on a tiny VNI range, a
+//! node drain, and an oversubscribed VNI space. The `scenario-run`
+//! binary in `shs-harness` executes them and emits the JSON
+//! [`ScenarioReport`]s; for one seed the report bytes are identical
+//! across runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+use shs_des::{Sim, SimDur, SimTime};
+use shs_fabric::{TrafficClass, TransferOutcome, Vni};
+use shs_k8s::{kinds, spec_of, status_of, KubeletParams, PodSpec, PodStatus};
+
+use crate::cluster::{alpine, Cluster, ClusterConfig, PodHandle};
+
+/// How a job attaches to the VNI Service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VniMode {
+    /// No annotation: the pod rides the globally accessible VNI
+    /// (single-tenant baseline).
+    Global,
+    /// `vni: "true"` — the job owns a fresh VNI (Per-Resource model).
+    Dedicated,
+    /// `vni: "<claim>"` — the job redeems a named VNI Claim.
+    Claim(String),
+}
+
+/// Rank-to-rank traffic a job generates once its pods run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficPlan {
+    /// Rounds to complete (rounds before all ranks run are skipped, not
+    /// consumed).
+    pub rounds: u32,
+    /// Gap between rounds.
+    pub interval: SimDur,
+    /// Payload bytes per message.
+    pub size: u64,
+    /// Traffic class of the job's messages.
+    pub tc: TrafficClass,
+}
+
+/// One job in a scenario.
+#[derive(Debug, Clone)]
+pub struct JobPlan {
+    /// Tenant namespace.
+    pub tenant: String,
+    /// Job name.
+    pub name: String,
+    /// Ranks (pod parallelism).
+    pub ranks: u32,
+    /// Submission instant.
+    pub arrival: SimTime,
+    /// Workload duration (`None` runs until the job is deleted).
+    pub run_ms: Option<u64>,
+    /// VNI attachment model.
+    pub vni: VniMode,
+    /// Explicit deletion instant, if any.
+    pub delete_at: Option<SimTime>,
+    /// Traffic the ranks exchange.
+    pub traffic: Option<TrafficPlan>,
+}
+
+/// One VNI Claim in a scenario.
+#[derive(Debug, Clone)]
+pub struct ClaimPlan {
+    /// Tenant namespace.
+    pub tenant: String,
+    /// Claim name.
+    pub name: String,
+    /// Creation instant.
+    pub create_at: SimTime,
+    /// Deletion-request instant (deletion stalls while users remain).
+    pub delete_at: Option<SimTime>,
+}
+
+/// Fault injections.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Cordon a node (status `ready: false`) and evict every job that
+    /// has a pod bound to it.
+    DrainNode {
+        /// Index into [`Cluster::nodes`].
+        node: usize,
+        /// Injection instant.
+        at: SimTime,
+    },
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable identifier, used by `scenario-run`).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Cluster configuration the scenario runs on.
+    pub config: ClusterConfig,
+    /// VNI Claims to create/delete.
+    pub claims: Vec<ClaimPlan>,
+    /// Jobs to submit.
+    pub jobs: Vec<JobPlan>,
+    /// Fault injections.
+    pub faults: Vec<Fault>,
+    /// Simulated end of the scenario.
+    pub horizon: SimTime,
+    /// Control-plane tick cadence.
+    pub tick: SimDur,
+}
+
+/// Per-job outcome in the report.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// `tenant/name`.
+    pub job: String,
+    /// Whether the first pod ever started.
+    pub started: bool,
+    /// Submission → first pod start, in microseconds.
+    pub admission_us: Option<u64>,
+    /// Whether the job object was gone at the horizon (completed and
+    /// reaped, or deleted).
+    pub reaped: bool,
+}
+
+/// Job lifecycle metrics.
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct JobsReport {
+    /// Jobs in the plan.
+    pub planned: u64,
+    /// Jobs whose first pod started.
+    pub started: u64,
+    /// Jobs gone (reaped/deleted) at the horizon.
+    pub reaped: u64,
+    /// Mean admission latency (µs) over started jobs.
+    pub admission_mean_us: u64,
+    /// Worst admission latency (µs).
+    pub admission_max_us: u64,
+    /// Per-job detail, in plan order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+/// Fabric traffic metrics (authorized rank-to-rank sends).
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Completed traffic rounds.
+    pub rounds: u64,
+    /// Rounds skipped because ranks were not (yet) running.
+    pub skipped_rounds: u64,
+    /// Sends whose sender authenticated against its own VNI.
+    pub authorized_sends: u64,
+    /// Messages delivered end to end.
+    pub delivered: u64,
+    /// Authorized messages the fabric dropped.
+    pub dropped: u64,
+    /// Senders that failed to authenticate against their *own* VNI.
+    pub auth_failures: u64,
+    /// Mean delivery latency (ns) over delivered messages.
+    pub mean_latency_ns: u64,
+    /// Worst delivery latency (ns).
+    pub max_latency_ns: u64,
+    /// Delivered payload bytes.
+    pub payload_bytes: u64,
+}
+
+/// VNI Service metrics (from the endpoint counters and the database).
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct VniReport {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Releases into quarantine.
+    pub releases: u64,
+    /// Claim redemptions.
+    pub redemptions: u64,
+    /// Acquisitions refused on an exhausted range.
+    pub exhaustions: u64,
+    /// Claim deletions deferred because users remained.
+    pub stalled_claim_deletes: u64,
+    /// Allocated rows at the horizon.
+    pub allocated_at_end: u64,
+    /// Quarantined rows at the horizon (after the expiry sweep).
+    pub quarantined_at_end: u64,
+    /// Audit-log length at the horizon.
+    pub audit_len: u64,
+}
+
+/// Kubelet counters summed over nodes.
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct KubeletReport {
+    /// Pods started.
+    pub pods_started: u64,
+    /// Pods fully torn down.
+    pub pods_removed: u64,
+    /// CNI ADD retries.
+    pub cni_retries: u64,
+    /// Pods marked Failed.
+    pub pods_failed: u64,
+}
+
+/// Isolation assertions — every field except the `*_attempts`/`denied`
+/// counters must be zero for the scenario to pass.
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct IsolationReport {
+    /// Adversarial cross-tenant probes mounted.
+    pub cross_tenant_attempts: u64,
+    /// Probes denied (driver auth or fabric enforcement).
+    pub cross_tenant_denied: u64,
+    /// Probes that *delivered* on a foreign VNI (violation).
+    pub cross_vni_deliveries: u64,
+    /// VNI reuses inside the quarantine window, from the audit log
+    /// (violation).
+    pub quarantine_violations: u64,
+    /// CXI services that outlived their pod (violation).
+    pub leaked_services: u64,
+    /// Switch-port VNI grants that outlived the allocation (violation).
+    pub stale_grants: u64,
+    /// Pods placed on a drained node after the drain (violation).
+    pub placement_violations: u64,
+}
+
+/// The full JSON report of one scenario run. Deterministic: for a fixed
+/// scenario + seed the serialized bytes are identical across runs.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Cluster seed.
+    pub seed: u64,
+    /// Horizon in milliseconds.
+    pub horizon_ms: u64,
+    /// DES events executed.
+    pub events_executed: u64,
+    /// Job lifecycle metrics.
+    pub jobs: JobsReport,
+    /// Traffic metrics.
+    pub traffic: TrafficReport,
+    /// VNI Service metrics.
+    pub vni: VniReport,
+    /// Kubelet metrics.
+    pub kubelet: KubeletReport,
+    /// Isolation assertions.
+    pub isolation: IsolationReport,
+    /// Whether every isolation assertion (and traffic liveness, where
+    /// the plan generates traffic) held.
+    pub passed: bool,
+}
+
+impl ScenarioReport {
+    fn evaluate(&mut self, traffic_expected: bool) {
+        let iso = &self.isolation;
+        self.passed = iso.cross_vni_deliveries == 0
+            && iso.quarantine_violations == 0
+            && iso.leaked_services == 0
+            && iso.stale_grants == 0
+            && iso.placement_violations == 0
+            && (!traffic_expected || (self.traffic.delivered > 0 && self.traffic.auth_failures == 0));
+    }
+}
+
+struct JobTrack {
+    plan: JobPlan,
+    started_at: Option<SimTime>,
+    rounds_done: u32,
+}
+
+#[derive(Default)]
+struct Raw {
+    rounds: u64,
+    skipped_rounds: u64,
+    authorized_sends: u64,
+    delivered: u64,
+    dropped: u64,
+    auth_failures: u64,
+    lat_sum_ns: u64,
+    lat_max_ns: u64,
+    payload_bytes: u64,
+    cross_attempts: u64,
+    cross_denied: u64,
+    cross_deliveries: u64,
+}
+
+struct World {
+    cluster: Cluster,
+    horizon: SimTime,
+    tick: SimDur,
+    jobs: Vec<JobTrack>,
+    m: Raw,
+    msg_id: u64,
+    /// (node index, drain instant)
+    drained: Vec<(usize, SimTime)>,
+}
+
+fn annotations(mode: &VniMode) -> Vec<(String, String)> {
+    match mode {
+        VniMode::Global => vec![],
+        VniMode::Dedicated => vec![("vni".to_string(), "true".to_string())],
+        VniMode::Claim(c) => vec![("vni".to_string(), c.clone())],
+    }
+}
+
+/// The VNI a job's pods would authenticate with, if decorated yet.
+fn resolve_vni(cluster: &Cluster, plan: &JobPlan) -> Option<Vni> {
+    match plan.vni {
+        VniMode::Global => Some(Vni::GLOBAL),
+        _ => {
+            let child = crate::endpoint::VniEndpoint::child_name_for_job(&plan.name);
+            let crd = cluster.api.get(kinds::VNI, &plan.tenant, &child)?;
+            crd.spec["vni"].as_u64().map(|v| Vni(v as u16))
+        }
+    }
+}
+
+fn tick_ev(sim: &mut Sim<World>) {
+    let now = sim.now();
+    sim.world.cluster.tick(now);
+    // Admission tracking: record the first pod-start instant per job.
+    // (This runs every 20 ms tick — borrow jobs and cluster as disjoint
+    // fields rather than cloning job keys.)
+    let w = &mut sim.world;
+    for ji in 0..w.jobs.len() {
+        let t = &w.jobs[ji];
+        if t.started_at.is_some() || now < t.plan.arrival {
+            continue;
+        }
+        let started = w.cluster.job_started_at(&t.plan.tenant, &t.plan.name);
+        if let Some(at) = started {
+            w.jobs[ji].started_at = Some(at);
+        }
+    }
+    let (tick, horizon) = (w.tick, w.horizon);
+    if now < horizon {
+        sim.after(tick, tick_ev);
+    }
+}
+
+fn send_authorized(
+    w: &mut World,
+    now: SimTime,
+    src: PodHandle,
+    dst: PodHandle,
+    vni: Vni,
+    size: u64,
+    tc: TrafficClass,
+) {
+    w.msg_id += 1;
+    let id = w.msg_id;
+    let Cluster { nodes, fabric, .. } = &mut w.cluster;
+    let sn = &nodes[src.node_idx];
+    // The member check every RDMA application passes once at startup.
+    if sn.inner.device.driver.find_service(&sn.inner.host, src.pid, vni).is_err() {
+        w.m.auth_failures += 1;
+        return;
+    }
+    w.m.authorized_sends += 1;
+    let src_nic = sn.inner.nic;
+    let dst_nic = nodes[dst.node_idx].inner.nic;
+    match fabric.transfer(now, src_nic, dst_nic, vni, tc, size, id) {
+        TransferOutcome::Delivered { arrival, .. } => {
+            w.m.delivered += 1;
+            w.m.payload_bytes += size;
+            let lat = (arrival - now).as_nanos();
+            w.m.lat_sum_ns += lat;
+            w.m.lat_max_ns = w.m.lat_max_ns.max(lat);
+        }
+        TransferOutcome::Dropped(_) => w.m.dropped += 1,
+    }
+}
+
+/// The first *other* job currently decorated with a different,
+/// non-global VNI — the adversarial probe target.
+fn pick_foreign(w: &World, ji: usize, own: Vni) -> Option<Vni> {
+    w.jobs.iter().enumerate().find_map(|(k, t)| {
+        if k == ji {
+            return None;
+        }
+        let v = resolve_vni(&w.cluster, &t.plan)?;
+        (v != own && v != Vni::GLOBAL).then_some(v)
+    })
+}
+
+fn probe_cross(w: &mut World, now: SimTime, attacker: PodHandle, foreign: Vni, tc: TrafficClass) {
+    w.m.cross_attempts += 1;
+    w.msg_id += 1;
+    let id = w.msg_id;
+    let Cluster { nodes, fabric, .. } = &mut w.cluster;
+    let sn = &nodes[attacker.node_idx];
+    // Hop 1: the CXI driver must refuse the endpoint (netns member).
+    if sn.inner.device.driver.find_service(&sn.inner.host, attacker.pid, foreign).is_err() {
+        w.m.cross_denied += 1;
+        return;
+    }
+    // Hop 2: even an admitted endpoint must die at the switch port.
+    let src_nic = sn.inner.nic;
+    let dst_nic = nodes[(attacker.node_idx + 1) % nodes.len()].inner.nic;
+    match fabric.transfer(now, src_nic, dst_nic, foreign, tc, 64, id) {
+        TransferOutcome::Delivered { .. } => w.m.cross_deliveries += 1,
+        TransferOutcome::Dropped(_) => w.m.cross_denied += 1,
+    }
+}
+
+fn traffic_round(sim: &mut Sim<World>, ji: usize) {
+    let now = sim.now();
+    let w = &mut sim.world;
+    let (ranks, delete_at, traffic) = {
+        let p = &w.jobs[ji].plan;
+        (p.ranks, p.delete_at, p.traffic)
+    };
+    let Some(tp) = traffic else { return };
+    let past_delete = delete_at.is_some_and(|d| now >= d);
+    let mut complete = false;
+    if !past_delete {
+        let mut handles = Vec::with_capacity(ranks as usize);
+        for r in 0..ranks {
+            let p = &w.jobs[ji].plan;
+            let pod = format!("{}-{r}", p.name);
+            match w.cluster.pod_handle(&p.tenant, &pod) {
+                Some(h) => handles.push(h),
+                None => break,
+            }
+        }
+        let vni = resolve_vni(&w.cluster, &w.jobs[ji].plan);
+        match (handles.len() == ranks as usize, vni) {
+            (true, Some(vni)) => {
+                w.m.rounds += 1;
+                if handles.len() >= 2 {
+                    for i in 0..handles.len() {
+                        let dst = handles[(i + 1) % handles.len()];
+                        send_authorized(w, now, handles[i], dst, vni, tp.size, tp.tc);
+                    }
+                }
+                if let Some(foreign) = pick_foreign(w, ji, vni) {
+                    probe_cross(w, now, handles[0], foreign, tp.tc);
+                }
+                w.jobs[ji].rounds_done += 1;
+                complete = w.jobs[ji].rounds_done >= tp.rounds;
+            }
+            _ => w.m.skipped_rounds += 1,
+        }
+    }
+    let horizon = w.horizon;
+    if !complete && !past_delete && now + tp.interval <= horizon {
+        sim.after(tp.interval, move |s| traffic_round(s, ji));
+    }
+}
+
+fn drain_ev(sim: &mut Sim<World>, node_idx: usize) {
+    let now = sim.now();
+    let w = &mut sim.world;
+    let name = w.cluster.nodes[node_idx].inner.name.clone();
+    let _ = w.cluster.api.mutate(kinds::NODE, "", &name, |o| {
+        o.status = serde_json::json!({ "ready": false });
+    });
+    // Evict: delete every job with a pod bound to the drained node.
+    let mut doomed: BTreeSet<(String, String)> = BTreeSet::new();
+    for pod in w.cluster.api.list(kinds::POD) {
+        let spec: PodSpec = spec_of(pod);
+        if spec.node_name.as_deref() == Some(name.as_str()) {
+            if let Some(job) = spec.job_name {
+                doomed.insert((pod.meta.namespace.clone(), job));
+            }
+        }
+    }
+    for (ns, job) in doomed {
+        w.cluster.delete_job(&ns, &job);
+    }
+    w.drained.push((node_idx, now));
+}
+
+/// Execute a scenario end to end; never panics on isolation failures —
+/// they are reported in the returned [`ScenarioReport`].
+pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
+    let cluster = Cluster::new(scenario.config.clone());
+    let world = World {
+        cluster,
+        horizon: scenario.horizon,
+        tick: scenario.tick,
+        jobs: scenario
+            .jobs
+            .iter()
+            .map(|p| JobTrack { plan: p.clone(), started_at: None, rounds_done: 0 })
+            .collect(),
+        m: Raw::default(),
+        msg_id: 0,
+        drained: Vec::new(),
+    };
+    let mut sim = Sim::new(world);
+
+    sim.at(SimTime::ZERO, tick_ev);
+    for claim in &scenario.claims {
+        let (ns, name) = (claim.tenant.clone(), claim.name.clone());
+        sim.at(claim.create_at, move |s| {
+            let now = s.now();
+            s.world.cluster.create_claim(now, &ns, &name);
+        });
+        if let Some(at) = claim.delete_at {
+            let (ns, name) = (claim.tenant.clone(), claim.name.clone());
+            sim.at(at, move |s| s.world.cluster.delete_claim(&ns, &name));
+        }
+    }
+    for (ji, plan) in scenario.jobs.iter().enumerate() {
+        let p = plan.clone();
+        sim.at(plan.arrival, move |s| {
+            let now = s.now();
+            let ann = annotations(&p.vni);
+            let ann_refs: Vec<(&str, &str)> =
+                ann.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            s.world.cluster.submit_job(
+                now,
+                &p.tenant,
+                &p.name,
+                &ann_refs,
+                p.ranks,
+                &alpine(),
+                p.run_ms,
+            );
+            if let Some(tp) = &p.traffic {
+                s.after(tp.interval, move |s2| traffic_round(s2, ji));
+            }
+        });
+        if let Some(at) = plan.delete_at {
+            let (ns, name) = (plan.tenant.clone(), plan.name.clone());
+            sim.at(at, move |s| s.world.cluster.delete_job(&ns, &name));
+        }
+    }
+    for fault in &scenario.faults {
+        match fault {
+            Fault::DrainNode { node, at } => {
+                let node = *node;
+                sim.at(*at, move |s| drain_ev(s, node));
+            }
+        }
+    }
+
+    sim.run_until(scenario.horizon);
+    let events_executed = sim.events_executed();
+    let w = &mut sim.world;
+
+    // ---- End-state audit ------------------------------------------------
+    let mut iso = IsolationReport {
+        cross_tenant_attempts: w.m.cross_attempts,
+        cross_tenant_denied: w.m.cross_denied,
+        cross_vni_deliveries: w.m.cross_deliveries,
+        ..Default::default()
+    };
+
+    // Rows as of the horizon, captured before the audit sweep below
+    // deletes expired quarantine rows (a grant left behind for an
+    // expired VNI is just as stale as one inside the window).
+    let rows_at_horizon = w.cluster.endpoint.borrow().db.rows();
+
+    // Quarantine discipline, from the audit log: every re-acquisition of
+    // a VNI must be >= the quarantine window after its release.
+    let quarantine_ns = w.cluster.endpoint.borrow().db.quarantine().as_nanos();
+    let audit = w.cluster.endpoint.borrow_mut().db.audit_at(scenario.horizon);
+    let mut last_release: BTreeMap<u16, u64> = BTreeMap::new();
+    for entry in &audit {
+        match entry.event.as_str() {
+            "acquire" => {
+                if let Some(rel) = last_release.get(&entry.vni) {
+                    if entry.at_ns.saturating_sub(*rel) < quarantine_ns {
+                        iso.quarantine_violations += 1;
+                    }
+                }
+            }
+            "release" => {
+                last_release.insert(entry.vni, entry.at_ns);
+            }
+            _ => {}
+        }
+    }
+
+    // Leaked CXI services: a `cni:` service whose pod no longer exists.
+    for node in &w.cluster.nodes {
+        for svc in node.inner.device.driver.services() {
+            let Some(sandbox) = svc.label.strip_prefix("cni:") else { continue };
+            let Some((ns, pod)) = sandbox.split_once('_') else { continue };
+            if w.cluster.api.get(kinds::POD, ns, pod).is_none() {
+                iso.leaked_services += 1;
+            }
+        }
+    }
+
+    // Stale switch grants: a port grant is only legitimate while the VNI
+    // is allocated AND some CXI service on that node still carries it
+    // (the plugin grants after service creation and revokes after the
+    // last service goes). This also catches a leaked grant from a VNI's
+    // *previous* owner after the VNI has been re-acquired elsewhere.
+    for row in rows_at_horizon {
+        let vni = Vni(row.vni);
+        for node in &w.cluster.nodes {
+            let port = w.cluster.fabric.port_of(node.inner.nic).expect("attached");
+            if !w.cluster.fabric.switch().has_vni(port, vni) {
+                continue;
+            }
+            let justified = row.state == crate::vni_db::VniState::Allocated
+                && node.inner.device.driver.services().iter().any(|s| s.vnis.contains(&vni));
+            if !justified {
+                iso.stale_grants += 1;
+            }
+        }
+    }
+
+    // Placement: nothing may start on a drained node after the drain.
+    for &(node_idx, at) in &w.drained {
+        let name = w.cluster.nodes[node_idx].inner.name.clone();
+        for pod in w.cluster.api.list(kinds::POD) {
+            let spec: PodSpec = spec_of(pod);
+            if spec.node_name.as_deref() != Some(name.as_str()) {
+                continue;
+            }
+            let started = status_of::<PodStatus>(pod).and_then(|s| s.started_at_ns);
+            if started.is_some_and(|s| s > at.as_nanos()) {
+                iso.placement_violations += 1;
+            }
+        }
+    }
+
+    // VNI database end state — `stats` sweeps expired quarantines so the
+    // reported split is consistent with what `acquire` would see.
+    let (counters, db_stats, audit_len) = {
+        let mut ep = w.cluster.endpoint.borrow_mut();
+        let counters = ep.counters;
+        let stats = ep.db.stats(scenario.horizon);
+        let audit_len = ep.db.audit_len();
+        (counters, stats, audit_len)
+    };
+
+    let mut outcomes = Vec::with_capacity(w.jobs.len());
+    let mut started = 0u64;
+    let mut reaped = 0u64;
+    let (mut adm_sum, mut adm_max, mut adm_n) = (0u64, 0u64, 0u64);
+    for t in &w.jobs {
+        let gone = !w.cluster.job_exists(&t.plan.tenant, &t.plan.name);
+        let admission_us = t.started_at.map(|at| (at - t.plan.arrival).as_nanos() / 1_000);
+        if t.started_at.is_some() {
+            started += 1;
+        }
+        if gone {
+            reaped += 1;
+        }
+        if let Some(us) = admission_us {
+            adm_sum += us;
+            adm_max = adm_max.max(us);
+            adm_n += 1;
+        }
+        outcomes.push(JobOutcome {
+            job: format!("{}/{}", t.plan.tenant, t.plan.name),
+            started: t.started_at.is_some(),
+            admission_us,
+            reaped: gone,
+        });
+    }
+
+    let kubelet = w.cluster.nodes.iter().fold(KubeletReport::default(), |mut acc, n| {
+        acc.pods_started += n.kubelet.counters.pods_started;
+        acc.pods_removed += n.kubelet.counters.pods_removed;
+        acc.cni_retries += n.kubelet.counters.cni_retries;
+        acc.pods_failed += n.kubelet.counters.pods_failed;
+        acc
+    });
+
+    let traffic_expected =
+        scenario.jobs.iter().any(|j| j.traffic.is_some() && j.ranks >= 2);
+    let mut report = ScenarioReport {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        seed: scenario.config.seed,
+        horizon_ms: scenario.horizon.as_nanos() / 1_000_000,
+        events_executed,
+        jobs: JobsReport {
+            planned: w.jobs.len() as u64,
+            started,
+            reaped,
+            admission_mean_us: adm_sum.checked_div(adm_n).unwrap_or(0),
+            admission_max_us: adm_max,
+            outcomes,
+        },
+        traffic: TrafficReport {
+            rounds: w.m.rounds,
+            skipped_rounds: w.m.skipped_rounds,
+            authorized_sends: w.m.authorized_sends,
+            delivered: w.m.delivered,
+            dropped: w.m.dropped,
+            auth_failures: w.m.auth_failures,
+            mean_latency_ns: w.m.lat_sum_ns.checked_div(w.m.delivered).unwrap_or(0),
+            max_latency_ns: w.m.lat_max_ns,
+            payload_bytes: w.m.payload_bytes,
+        },
+        vni: VniReport {
+            acquisitions: counters.acquisitions,
+            releases: counters.releases,
+            redemptions: counters.redemptions,
+            exhaustions: counters.exhaustions,
+            stalled_claim_deletes: counters.stalled_claim_deletes,
+            allocated_at_end: db_stats.allocated as u64,
+            quarantined_at_end: db_stats.quarantined as u64,
+            audit_len: audit_len as u64,
+        },
+        kubelet,
+        isolation: iso,
+        passed: false,
+    };
+    report.evaluate(traffic_expected);
+    report
+}
+
+// ---- The named scenario library -----------------------------------------
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_nanos(x * 1_000_000)
+}
+
+fn job(tenant: &str, name: &str, ranks: u32, arrival_ms: u64, vni: VniMode) -> JobPlan {
+    JobPlan {
+        tenant: tenant.into(),
+        name: name.into(),
+        ranks,
+        arrival: ms(arrival_ms),
+        run_ms: None,
+        vni,
+        delete_at: None,
+        traffic: None,
+    }
+}
+
+fn std_traffic() -> TrafficPlan {
+    TrafficPlan {
+        rounds: 8,
+        interval: SimDur::from_millis(1_000),
+        size: 4096,
+        tc: TrafficClass::Dedicated,
+    }
+}
+
+/// Three tenants with dedicated VNIs, a shared claim, and a baseline
+/// global-VNI job, all exchanging traffic concurrently, then torn down.
+pub fn steady_state(seed: u64) -> Scenario {
+    let mut jobs = Vec::new();
+    for (i, (tenant, name)) in
+        [("tenant-a", "alpha"), ("tenant-b", "beta"), ("tenant-c", "gamma")].iter().enumerate()
+    {
+        let mut j = job(tenant, name, 2, 500 + 500 * i as u64, VniMode::Dedicated);
+        j.delete_at = Some(ms(30_000));
+        j.traffic = Some(std_traffic());
+        jobs.push(j);
+    }
+    let mut delta = job("acme", "delta", 2, 2_000, VniMode::Claim("shared".into()));
+    delta.delete_at = Some(ms(28_000));
+    delta.traffic = Some(std_traffic());
+    jobs.push(delta);
+    let mut omega = job("plain", "omega", 2, 2_500, VniMode::Global);
+    omega.delete_at = Some(ms(30_000));
+    omega.traffic = Some(TrafficPlan { size: 2048, tc: TrafficClass::BulkData, ..std_traffic() });
+    jobs.push(omega);
+    Scenario {
+        name: "steady-state".into(),
+        description: "3 dedicated-VNI tenants + a shared claim + a global-VNI baseline, \
+                      concurrent traffic, clean teardown"
+            .into(),
+        config: ClusterConfig { seed, ..Default::default() },
+        claims: vec![ClaimPlan {
+            tenant: "acme".into(),
+            name: "shared".into(),
+            create_at: SimTime::ZERO,
+            delete_at: Some(ms(31_000)),
+        }],
+        jobs,
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// Waves of short-lived jobs: allocation, completion, TTL reaping and
+/// quarantine all cycling at once.
+pub fn churn(seed: u64) -> Scenario {
+    let mut jobs = Vec::new();
+    for wave in 0..3u64 {
+        for i in 0..6u64 {
+            let mut j = job(
+                "churn",
+                &format!("w{wave}j{i}"),
+                1,
+                1_000 + wave * 7_000 + i * 100,
+                VniMode::Dedicated,
+            );
+            j.run_ms = Some(500);
+            jobs.push(j);
+        }
+    }
+    Scenario {
+        name: "churn".into(),
+        description: "3 waves x 6 short jobs; teardown storm must leave zero leaked state"
+            .into(),
+        config: ClusterConfig { seed, ..Default::default() },
+        claims: vec![],
+        jobs,
+        faults: vec![],
+        horizon: ms(60_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// Nine jobs over a three-VNI range: progress is gated by quarantine
+/// expiry, and reuse must respect the full 30 s window.
+pub fn quarantine_pressure(seed: u64) -> Scenario {
+    let mut jobs = Vec::new();
+    for i in 0..9u64 {
+        let mut j = job("qp", &format!("q{i}"), 1, 200 * i, VniMode::Dedicated);
+        j.run_ms = Some(300);
+        jobs.push(j);
+    }
+    Scenario {
+        name: "quarantine-pressure".into(),
+        description: "9 jobs through a 3-wide VNI range; reuse gated by the 30s quarantine"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            vni_range: 2048..2051,
+            vni_resync: Some(SimDur::from_millis(1_000)),
+            kubelet: KubeletParams {
+                retry_backoff: SimDur::from_millis(1_000),
+                max_attempts: 200,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs,
+        faults: vec![],
+        horizon: ms(100_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// Drain a node mid-run: its jobs are evicted, replacements may only
+/// land on the surviving nodes, and the drained node must end clean.
+pub fn node_drain(seed: u64) -> Scenario {
+    let mut jobs = Vec::new();
+    for i in 0..4u64 {
+        let mut j = job("dr", &format!("d{i}"), 2, 500 + 500 * i, VniMode::Dedicated);
+        j.delete_at = Some(ms(40_000));
+        j.traffic = Some(TrafficPlan { rounds: 6, size: 1024, ..std_traffic() });
+        jobs.push(j);
+    }
+    for i in 0..2u64 {
+        let mut j = job("dr", &format!("r{i}"), 2, 15_000 + 500 * i, VniMode::Dedicated);
+        j.delete_at = Some(ms(40_000));
+        j.traffic = Some(TrafficPlan { rounds: 6, size: 1024, ..std_traffic() });
+        jobs.push(j);
+    }
+    Scenario {
+        name: "node-drain".into(),
+        description: "cordon + evict node0 at t=10s; replacements must avoid it and it \
+                      must end with no leaked services or grants"
+            .into(),
+        config: ClusterConfig { seed, nodes: 3, ..Default::default() },
+        claims: vec![],
+        jobs,
+        faults: vec![Fault::DrainNode { node: 0, at: ms(10_000) }],
+        horizon: ms(55_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// Five long-running jobs over a two-VNI range: a standing backlog that
+/// only drains as earlier tenants release and quarantine expires.
+pub fn oversubscribed(seed: u64) -> Scenario {
+    let mut jobs = Vec::new();
+    let deletes = [10_000u64, 10_000, 55_000, 55_000, 100_000];
+    for (i, del) in deletes.iter().enumerate() {
+        let mut j = job("over", &format!("o{i}"), 1, 300 * (i as u64 + 1), VniMode::Dedicated);
+        j.delete_at = Some(ms(*del));
+        jobs.push(j);
+    }
+    Scenario {
+        name: "oversubscribed".into(),
+        description: "5 standing jobs over a 2-wide VNI range; the backlog drains only \
+                      through release + quarantine expiry"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            vni_range: 3000..3002,
+            vni_resync: Some(SimDur::from_millis(1_000)),
+            kubelet: KubeletParams {
+                retry_backoff: SimDur::from_millis(2_000),
+                max_attempts: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs,
+        faults: vec![],
+        horizon: ms(110_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// The named scenario library executed by `scenario-run`.
+pub fn library(seed: u64) -> Vec<Scenario> {
+    vec![
+        steady_state(seed),
+        churn(seed),
+        quarantine_pressure(seed),
+        node_drain(seed),
+        oversubscribed(seed),
+    ]
+}
+
+/// Look up one library scenario by name.
+pub fn by_name(name: &str, seed: u64) -> Option<Scenario> {
+    library(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        let mut a = job("t0", "a", 2, 500, VniMode::Dedicated);
+        a.delete_at = Some(ms(6_000));
+        a.traffic = Some(TrafficPlan {
+            rounds: 3,
+            interval: SimDur::from_millis(500),
+            size: 1024,
+            tc: TrafficClass::Dedicated,
+        });
+        let mut b = job("t1", "b", 2, 800, VniMode::Dedicated);
+        b.delete_at = Some(ms(6_000));
+        b.traffic = Some(TrafficPlan {
+            rounds: 3,
+            interval: SimDur::from_millis(500),
+            size: 1024,
+            tc: TrafficClass::Dedicated,
+        });
+        Scenario {
+            name: "tiny".into(),
+            description: "two dedicated tenants with traffic".into(),
+            config: ClusterConfig { seed: 11, ..Default::default() },
+            claims: vec![],
+            jobs: vec![a, b],
+            faults: vec![],
+            horizon: ms(12_000),
+            tick: SimDur::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn tiny_scenario_passes_all_isolation_assertions() {
+        let r = run_scenario(&tiny());
+        assert_eq!(r.jobs.started, 2, "both jobs admitted");
+        assert!(r.traffic.delivered > 0, "rank traffic flowed");
+        assert!(r.isolation.cross_tenant_attempts > 0, "probes mounted");
+        assert_eq!(r.isolation.cross_vni_deliveries, 0);
+        assert_eq!(r.isolation.quarantine_violations, 0);
+        assert_eq!(r.isolation.leaked_services, 0);
+        assert_eq!(r.isolation.stale_grants, 0);
+        assert!(r.passed, "report: {r:?}");
+    }
+
+    #[test]
+    fn tiny_scenario_is_deterministic() {
+        let a = run_scenario(&tiny());
+        let b = run_scenario(&tiny());
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn library_has_five_distinct_scenarios() {
+        let lib = library(1);
+        assert_eq!(lib.len(), 5);
+        let names: std::collections::BTreeSet<_> =
+            lib.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 5);
+        assert!(by_name("churn", 1).is_some());
+        assert!(by_name("nope", 1).is_none());
+    }
+}

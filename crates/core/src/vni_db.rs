@@ -12,6 +12,28 @@
 //! check-then-allocate races the paper worries about (§III-C2 TOCTOU)
 //! cannot produce double allocations — property-tested in
 //! `tests/vni_exclusivity.rs`.
+//!
+//! # Example
+//!
+//! Allocate, release into quarantine, and watch the 30 s window gate
+//! reuse:
+//!
+//! ```
+//! use shs_des::{SimDur, SimTime};
+//! use slingshot_k8s::vni_db::{VniDb, VniDbConfig, VniOwner};
+//!
+//! let mut db = VniDb::new(VniDbConfig { range: 1024..1026, quarantine: SimDur::from_secs(30) });
+//! let owner = VniOwner::Job { key: "tenant/train".into() };
+//! let vni = db.acquire(owner, SimTime::ZERO).unwrap();
+//! db.release(vni, SimTime::from_nanos(1_000_000_000)).unwrap();
+//!
+//! // 10 s later the VNI is still quarantined...
+//! let stats = db.stats(SimTime::from_nanos(11_000_000_000));
+//! assert_eq!((stats.allocated, stats.quarantined), (0, 1));
+//! // ...but once the window passes, a stats read sweeps it back to free.
+//! let stats = db.stats(SimTime::from_nanos(31_000_000_000));
+//! assert_eq!((stats.quarantined, stats.free), (0, 2));
+//! ```
 
 use serde::{Deserialize, Serialize};
 use shs_des::{SimDur, SimTime};
@@ -115,6 +137,18 @@ impl Default for VniDbConfig {
 const T_VNIS: &str = "vnis";
 const T_AUDIT: &str = "audit_log";
 
+/// The single quarantine-expiry predicate, shared by `acquire` (which
+/// treats expired rows as free) and `sweep_expired`/`stats` (which
+/// report them as free) so allocation and reporting can never diverge.
+fn quarantine_expired(row: &VniRow, quarantine: SimDur, now: SimTime) -> bool {
+    match row.state {
+        VniState::Quarantined { released_at_ns } => {
+            now >= SimTime::from_nanos(released_at_ns) + quarantine
+        }
+        VniState::Allocated => false,
+    }
+}
+
 /// The VNI database.
 #[derive(Debug)]
 pub struct VniDb {
@@ -169,12 +203,23 @@ impl VniDb {
         self.store.row_count(T_AUDIT)
     }
 
-    /// Audit entries in order.
+    /// Audit entries in order, as currently persisted. Prefer
+    /// [`VniDb::audit_at`] when a simulation clock is in hand: this raw
+    /// read does not sweep expired quarantines, so it may lag the state
+    /// `acquire` would act on.
     pub fn audit(&self) -> Vec<AuditEntry> {
         self.store
             .scan(T_AUDIT)
             .map(|(_, v)| serde_json::from_slice(v).expect("audit rows are valid JSON"))
             .collect()
+    }
+
+    /// Consistent audit read at `now`: sweeps expired quarantines first,
+    /// so the returned log contains a `quarantine_expire` entry for
+    /// every VNI that `acquire` would already treat as free.
+    pub fn audit_at(&mut self, now: SimTime) -> Vec<AuditEntry> {
+        self.sweep_expired(now);
+        self.audit()
     }
 
     /// Find the VNI owned by `owner`, if any (idempotent re-sync path).
@@ -203,13 +248,9 @@ impl VniDb {
                 }
                 Some(bytes) => {
                     let row = Self::decode_row(&bytes);
-                    if let VniState::Quarantined { released_at_ns } = row.state {
-                        let free_at = SimTime::from_nanos(released_at_ns)
-                            + self.config.quarantine;
-                        if now >= free_at {
-                            chosen = Some(vni);
-                            break;
-                        }
+                    if quarantine_expired(&row, self.config.quarantine, now) {
+                        chosen = Some(vni);
+                        break;
                     }
                 }
             }
@@ -343,6 +384,72 @@ impl VniDb {
     pub fn allocated_count(&self) -> usize {
         self.rows().iter().filter(|r| r.state == VniState::Allocated).count()
     }
+
+    /// Sweep quarantined rows whose window has passed: each is deleted
+    /// (returning the VNI to the free pool) and a `quarantine_expire`
+    /// audit entry is appended, all in one transaction. Returns the
+    /// number of rows swept.
+    ///
+    /// Allocation has always *treated* expired rows as free; before this
+    /// sweep existed, audit/stats readers still saw them as quarantined,
+    /// so reported counts disagreed with what `acquire` would actually
+    /// do. [`VniDb::stats`] calls this first for consistent reads.
+    pub fn sweep_expired(&mut self, now: SimTime) -> usize {
+        let expired: Vec<u16> = self
+            .rows()
+            .into_iter()
+            .filter(|r| quarantine_expired(r, self.config.quarantine, now))
+            .map(|r| r.vni)
+            .collect();
+        if expired.is_empty() {
+            return 0;
+        }
+        let mut seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        for vni in &expired {
+            txn.delete(T_VNIS, &Self::key(*vni));
+            txn.put(
+                T_AUDIT,
+                &seq.to_be_bytes(),
+                &serde_json::to_vec(&AuditEntry {
+                    at_ns: now.as_nanos(),
+                    event: "quarantine_expire".into(),
+                    vni: *vni,
+                })
+                .expect("serializes"),
+            );
+            seq += 1;
+        }
+        txn.commit();
+        self.next_audit_seq = seq;
+        expired.len()
+    }
+
+    /// Consistent occupancy split of the configured range at `now`.
+    /// Sweeps expired quarantines first, so `quarantined` only counts
+    /// VNIs that `acquire` would actually refuse.
+    pub fn stats(&mut self, now: SimTime) -> VniDbStats {
+        self.sweep_expired(now);
+        let rows = self.rows();
+        let allocated = rows.iter().filter(|r| r.state == VniState::Allocated).count();
+        let quarantined = rows.len() - allocated;
+        VniDbStats {
+            allocated,
+            quarantined,
+            free: self.config.range.len() - rows.len(),
+        }
+    }
+}
+
+/// Occupancy of the VNI range as reported by [`VniDb::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VniDbStats {
+    /// VNIs currently allocated to an owner.
+    pub allocated: usize,
+    /// VNIs inside an unexpired quarantine window.
+    pub quarantined: usize,
+    /// VNIs a fresh `acquire` could hand out.
+    pub free: usize,
 }
 
 #[cfg(test)]
@@ -443,6 +550,38 @@ mod tests {
         db.release(v, SimTime::ZERO).unwrap();
         let events: Vec<String> = db.audit().into_iter().map(|e| e.event).collect();
         assert_eq!(events, vec!["acquire", "add_user:u", "remove_user:u", "release"]);
+    }
+
+    #[test]
+    fn stats_sweep_expires_stale_quarantines_consistently() {
+        let mut db = db();
+        db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.acquire(job("ns/b"), SimTime::ZERO).unwrap();
+        db.release(Vni(1024), SimTime::from_nanos(5_000_000_000)).unwrap();
+        // Inside the window: reported as quarantined, nothing swept.
+        let s = db.stats(SimTime::from_nanos(10_000_000_000));
+        assert_eq!((s.allocated, s.quarantined, s.free), (1, 1, 4));
+        // Regression: before the sweep existed, a stats/audit read after
+        // the window still reported the row as quarantined even though
+        // acquire() would have handed it out.
+        let s = db.stats(SimTime::from_nanos(35_000_000_000));
+        assert_eq!((s.allocated, s.quarantined, s.free), (1, 0, 5));
+        // audit_at is the consistent audit read; here it sweeps nothing
+        // further but returns the expire entry stats() just recorded.
+        let events: Vec<String> =
+            db.audit_at(SimTime::from_nanos(35_000_000_000)).into_iter().map(|e| e.event).collect();
+        assert_eq!(
+            events,
+            vec!["acquire", "acquire", "release", "quarantine_expire"],
+            "the sweep is visible in the audit log"
+        );
+        // The swept VNI is genuinely free again.
+        assert_eq!(
+            db.acquire(job("ns/c"), SimTime::from_nanos(35_000_000_000)).unwrap(),
+            Vni(1024)
+        );
+        // Idempotent: a second read sweeps nothing further.
+        assert_eq!(db.sweep_expired(SimTime::from_nanos(36_000_000_000)), 0);
     }
 
     #[test]

@@ -5,6 +5,27 @@
 //! inspect the world, mutate it, and schedule follow-up events. Ties in
 //! time are broken by insertion order, which keeps execution fully
 //! deterministic.
+//!
+//! # Example
+//!
+//! A self-rescheduling "process" bounded by a predicate — the pattern
+//! the scenario engine uses for its control-plane tick:
+//!
+//! ```
+//! use shs_des::{Sim, SimDur, SimTime};
+//!
+//! fn tick(sim: &mut Sim<u32>) {
+//!     sim.world += 1;
+//!     sim.after(SimDur::from_millis(20), tick);
+//! }
+//!
+//! let mut sim = Sim::new(0u32);
+//! sim.at(SimTime::ZERO, tick);
+//! sim.run_until(SimTime::from_nanos(100_000_000)); // 100 ms horizon
+//! assert_eq!(sim.world, 6, "ticks at 0, 20, 40, 60, 80, 100 ms");
+//! assert_eq!(sim.now(), SimTime::from_nanos(100_000_000));
+//! assert_eq!(sim.pending(), 1, "the next tick stays queued past the horizon");
+//! ```
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -1,0 +1,109 @@
+//! `scenario-run` — execute the end-to-end multi-tenant scenario
+//! library and emit a JSON report.
+//!
+//! ```text
+//! scenario-run [all|<scenario-name>] [--seed N] [--out FILE] [--list]
+//! ```
+//!
+//! Runs each scenario's full job lifecycle (admission → CNI chain → VNI
+//! allocation → CXI service → fabric traffic → teardown) under the
+//! deterministic DES clock and prints one [`ScenarioReport`] per
+//! scenario as pretty JSON. For a fixed seed the output is
+//! byte-identical across runs. Exits non-zero if any scenario's
+//! isolation assertions fail (cross-VNI delivery, quarantine violation,
+//! leaked service, stale grant, or misplacement).
+//!
+//! [`ScenarioReport`]: slingshot_k8s::ScenarioReport
+
+use std::path::PathBuf;
+
+use slingshot_k8s::{by_name, library, run_scenario, ScenarioReport};
+
+struct Opts {
+    cmd: String,
+    seed: u64,
+    out: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1).peekable();
+    let cmd = match args.peek() {
+        Some(a) if !a.starts_with("--") => args.next().expect("peeked"),
+        _ => "all".to_string(),
+    };
+    let mut opts = Opts { cmd, seed: 42, out: None, list: false };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be numeric"));
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--list" => opts.list = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("scenario-run: {msg}");
+    eprintln!("usage: scenario-run [all|<scenario-name>] [--seed N] [--out FILE] [--list]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    // Validate the positional scenario name first so a typo exits 2
+    // even when combined with --list.
+    let scenarios = if opts.cmd == "all" {
+        library(opts.seed)
+    } else {
+        match by_name(&opts.cmd, opts.seed) {
+            Some(s) => vec![s],
+            None => usage(&format!(
+                "unknown scenario {:?}; use --list to see the library",
+                opts.cmd
+            )),
+        }
+    };
+    if opts.list {
+        for s in library(opts.seed) {
+            println!("{:<22} {}", s.name, s.description);
+        }
+        return;
+    }
+
+    let reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .map(|s| {
+            eprintln!("running {} ...", s.name);
+            run_scenario(s)
+        })
+        .collect();
+
+    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+    println!("{json}");
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("scenario-run: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    let failed: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.passed)
+        .map(|r| r.scenario.as_str())
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("FAILED isolation assertions: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+    eprintln!("{} scenario(s) passed", reports.len());
+}

@@ -7,6 +7,32 @@
 //! ordered. This matches the paper's use of SQLite: "We utilize the ACID
 //! properties of SQLite ... by implementing all relevant database
 //! operations as atomic SQL transactions" (§III-C2).
+//!
+//! # Example
+//!
+//! Commit a transaction, shut down cleanly, and recover the same state
+//! from the device image:
+//!
+//! ```
+//! use shs_vnistore::{Store, StoreConfig};
+//!
+//! let mut store = Store::new(StoreConfig::default());
+//! let mut txn = store.begin();
+//! txn.put("vnis", b"k1", b"row-1");
+//! txn.put("vnis", b"k2", b"row-2");
+//! txn.commit();
+//! assert_eq!(store.get("vnis", b"k1"), Some(&b"row-1"[..]));
+//!
+//! // A dropped (uncommitted) transaction leaves no trace.
+//! let mut txn = store.begin();
+//! txn.delete("vnis", b"k1");
+//! drop(txn);
+//! assert!(store.get("vnis", b"k1").is_some());
+//!
+//! let disk = store.shutdown();
+//! let recovered = Store::recover(disk, StoreConfig::default());
+//! assert_eq!(recovered.row_count("vnis"), 2);
+//! ```
 
 use std::collections::BTreeMap;
 

@@ -9,6 +9,25 @@
 //! Recovery scans records from the start and stops at the first frame
 //! whose header is truncated, whose magic is wrong, or whose CRC does not
 //! match — exactly the torn-tail discipline SQLite's journal uses.
+//!
+//! # Example
+//!
+//! A torn tail (e.g. a crash mid-append) is detected and cleanly cut:
+//!
+//! ```
+//! use shs_vnistore::wal::{decode_all, encode, Record, RecordKind};
+//!
+//! let a = encode(&Record { kind: RecordKind::Commit, lsn: 1, payload: b"alpha".to_vec() });
+//! let b = encode(&Record { kind: RecordKind::Commit, lsn: 2, payload: b"beta".to_vec() });
+//! let mut log = [a.clone(), b].concat();
+//!
+//! // Tear the last record mid-frame.
+//! log.truncate(a.len() + 5);
+//! let (records, consumed) = decode_all(&log);
+//! assert_eq!(records.len(), 1, "only the intact record survives");
+//! assert_eq!(records[0].payload, b"alpha");
+//! assert_eq!(consumed, a.len(), "the torn tail is not consumed");
+//! ```
 
 /// Frame magic.
 pub const MAGIC: u16 = 0x5A1C; // "SLIC"-ish

@@ -1,0 +1,71 @@
+//! End-to-end checks over the named scenario library: every scenario
+//! must pass its isolation assertions, and a fixed seed must reproduce
+//! the JSON report byte for byte (the `scenario-run` contract).
+
+use slingshot_k8s::{library, run_scenario};
+
+#[test]
+fn every_library_scenario_passes_isolation_assertions() {
+    for scenario in library(42) {
+        let r = run_scenario(&scenario);
+        assert!(
+            r.passed,
+            "{}: isolation assertions failed: {:?}",
+            scenario.name, r.isolation
+        );
+        assert_eq!(
+            r.jobs.started, r.jobs.planned,
+            "{}: every planned job must eventually admit",
+            scenario.name
+        );
+        assert_eq!(r.isolation.cross_vni_deliveries, 0, "{}", scenario.name);
+        assert_eq!(r.isolation.quarantine_violations, 0, "{}", scenario.name);
+        assert_eq!(r.isolation.leaked_services, 0, "{}", scenario.name);
+        assert_eq!(r.isolation.stale_grants, 0, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn scenario_reports_are_byte_identical_for_a_fixed_seed() {
+    let run = |seed: u64| {
+        let reports: Vec<_> = library(seed).iter().map(run_scenario).collect();
+        serde_json::to_string_pretty(&reports).expect("serializes")
+    };
+    assert_eq!(run(42), run(42), "same seed, same bytes");
+    assert_ne!(run(42), run(7), "the seed actually reaches the cluster");
+}
+
+#[test]
+fn scenarios_exercise_their_designed_pressure() {
+    let by: std::collections::BTreeMap<String, _> = library(42)
+        .iter()
+        .map(|s| (s.name.clone(), run_scenario(s)))
+        .collect();
+
+    let steady = &by["steady-state"];
+    assert!(steady.traffic.delivered > 0, "multi-tenant traffic flowed");
+    assert!(steady.isolation.cross_tenant_attempts > 0, "adversarial probes ran");
+    assert_eq!(
+        steady.isolation.cross_tenant_attempts,
+        steady.isolation.cross_tenant_denied,
+        "every cross-tenant probe was denied at some hop"
+    );
+    assert!(steady.vni.redemptions > 0, "the claim was redeemed");
+
+    let churn = &by["churn"];
+    assert_eq!(churn.vni.acquisitions, 18);
+    assert_eq!(churn.vni.releases, 18);
+    assert_eq!(churn.vni.allocated_at_end, 0, "teardown storm leaves nothing behind");
+
+    let qp = &by["quarantine-pressure"];
+    assert!(qp.vni.exhaustions > 0, "the 3-wide range saturated");
+    assert!(qp.kubelet.cni_retries > 0, "pods retried while undecorated");
+
+    let drain = &by["node-drain"];
+    assert_eq!(drain.isolation.placement_violations, 0);
+    assert_eq!(drain.kubelet.pods_failed, 0);
+
+    let over = &by["oversubscribed"];
+    assert!(over.vni.exhaustions > 0, "standing backlog hit exhaustion");
+    assert_eq!(over.jobs.started, 5, "backlog fully drained via quarantine expiry");
+}

@@ -63,7 +63,8 @@ pub mod ser {
     pub use crate::{Error, Serialize};
 }
 
-/// `serde::de` namespace: [`DeserializeOwned`] and the trait re-export.
+/// `serde::de` namespace: [`DeserializeOwned`](de::DeserializeOwned)
+/// and the trait re-export.
 pub mod de {
     pub use crate::{Deserialize, Error};
 

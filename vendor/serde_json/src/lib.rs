@@ -27,6 +27,12 @@ pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
     Ok(serde::json::to_string_value(&value.to_json_value()))
 }
 
+/// Serialize to human-readable, two-space-indented JSON text with
+/// deterministic (BTree-ordered) object keys.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string_value_pretty(&value.to_json_value()))
+}
+
 /// Serialize to JSON bytes.
 pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
     to_string(value).map(String::into_bytes)
