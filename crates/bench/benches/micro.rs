@@ -12,7 +12,7 @@ use shs_des::{DetRng, SimTime};
 use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
 use shs_oslinux::{Gid, Host, NetNsId, Pid, Uid};
 use shs_vnistore::{Store, StoreConfig};
-use slingshot_k8s::{VniDb, VniDbConfig, VniOwner};
+use slingshot_k8s::{AcquireReleaseWorkload, ChurnHotWorkload};
 
 fn bench_ep_alloc_auth(c: &mut Criterion) {
     // The §III-A member check: netns vs uid member types.
@@ -55,16 +55,22 @@ fn bench_ep_alloc_auth(c: &mut Criterion) {
 }
 
 fn bench_vni_db_txn(c: &mut Criterion) {
+    // The canonical workload shared with `bench-run` (see
+    // `slingshot_k8s::workloads`), so the Criterion line and the
+    // machine-readable trajectory measure the same thing.
     c.bench_function("vni_db_acquire_release", |b| {
-        let mut db = VniDb::new(VniDbConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            let owner = VniOwner::Job { key: format!("ns/j{i}") };
-            i += 1;
-            let vni = db.acquire(owner, SimTime::ZERO).expect("capacity");
-            db.release(vni, SimTime::ZERO).expect("release");
-            black_box(vni)
-        })
+        let mut w = AcquireReleaseWorkload::new();
+        b.iter(|| black_box(w.step()))
+    });
+}
+
+fn bench_vni_db_churn_hot(c: &mut Criterion) {
+    // High-occupancy hot path (shared with `bench-run`): 3000 of the
+    // 3072 default-range VNIs held by standing tenants, one job churning
+    // through the remainder past the 30 s quarantine each cycle.
+    c.bench_function("vni_db_churn_hot", |b| {
+        let mut w = ChurnHotWorkload::new();
+        b.iter(|| black_box(w.step()))
     });
 }
 
@@ -170,8 +176,8 @@ fn bench_switch_forward_denied(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_store_commit,
-              bench_fabric_transfer, bench_nic_send, bench_netns_lookup,
-              bench_switch_forward_denied
+    targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_vni_db_churn_hot,
+              bench_store_commit, bench_fabric_transfer, bench_nic_send,
+              bench_netns_lookup, bench_switch_forward_denied
 }
 criterion_main!(micro);

@@ -34,6 +34,7 @@ pub mod cxi_cni;
 pub mod endpoint;
 pub mod scenario;
 pub mod vni_db;
+pub mod workloads;
 
 pub use cluster::{alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, PodHandle};
 pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
@@ -43,5 +44,7 @@ pub use scenario::{
     TrafficPlan, VniMode,
 };
 pub use vni_db::{
-    AuditEntry, VniDb, VniDbConfig, VniDbError, VniDbStats, VniOwner, VniRow, VniState,
+    AuditEntry, VniDb, VniDbConfig, VniDbCounters, VniDbError, VniDbStats, VniOwner, VniRow,
+    VniState,
 };
+pub use workloads::{AcquireReleaseWorkload, ChurnHotWorkload};

@@ -206,6 +206,10 @@ pub struct VniReport {
     pub quarantined_at_end: u64,
     /// Audit-log length at the horizon.
     pub audit_len: u64,
+    /// ACID transactions committed by the VNI database over the run —
+    /// the §III-C2 serialization point, made countable. Deterministic
+    /// for a fixed scenario + seed.
+    pub txn_count: u64,
 }
 
 /// Kubelet counters summed over nodes.
@@ -643,12 +647,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
 
     // VNI database end state — `stats` sweeps expired quarantines so the
     // reported split is consistent with what `acquire` would see.
-    let (counters, db_stats, audit_len) = {
+    let (counters, db_stats, audit_len, txn_count) = {
         let mut ep = w.cluster.endpoint.borrow_mut();
         let counters = ep.counters;
         let stats = ep.db.stats(scenario.horizon);
         let audit_len = ep.db.audit_len();
-        (counters, stats, audit_len)
+        let txn_count = ep.db.txn_count();
+        (counters, stats, audit_len, txn_count)
     };
 
     let mut outcomes = Vec::with_capacity(w.jobs.len());
@@ -721,6 +726,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             allocated_at_end: db_stats.allocated as u64,
             quarantined_at_end: db_stats.quarantined as u64,
             audit_len: audit_len as u64,
+            txn_count,
         },
         kubelet,
         isolation: iso,

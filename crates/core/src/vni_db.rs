@@ -1,4 +1,6 @@
-//! The VNI Database (§III-C2): typed schema over the ACID store.
+//! The VNI Database (§III-C2): typed schema over the ACID store, with
+//! write-through in-memory indexes keeping every control-plane hot path
+//! at O(log n).
 //!
 //! Tables:
 //! * `vnis` — one row per VNI that is allocated or quarantined,
@@ -11,7 +13,33 @@
 //! Every public operation is a single serializable transaction, so the
 //! check-then-allocate races the paper worries about (§III-C2 TOCTOU)
 //! cannot produce double allocations — property-tested in
-//! `tests/vni_exclusivity.rs`.
+//! `tests/vni_exclusivity.rs`, and checked against a naive scan-based
+//! oracle in `tests/vni_oracle.rs`.
+//!
+//! # Indexes
+//!
+//! The store remains the single durable source of truth; the database
+//! additionally maintains four in-memory indexes, rebuilt by one table
+//! scan in [`VniDb::recover`] and updated **only after** a transaction
+//! commits. Failed operations never touch the store, the audit cursor,
+//! or any store-derived index state; the only bookkeeping a failing
+//! `acquire` may perform is expiry promotion/demotion, which re-sorts
+//! quarantined VNIs between the heap and the expired sets without
+//! changing what any of them mean. The indexes:
+//!
+//! * a **free set** of range VNIs with no row — `acquire` takes the
+//!   minimum in O(log n) instead of scanning the range;
+//! * **owner maps** (job/claim key → VNI) — `find_by_owner` and the
+//!   idempotent re-acquire probe are lookups, not table scans;
+//! * a **quarantine map** (VNI → release instant) mirroring every
+//!   quarantined row;
+//! * an **expiry min-heap** ordered by release-instant + window —
+//!   [`VniDb::sweep_expired`] pops only actually-expired entries
+//!   instead of decoding the whole table.
+//!
+//! Rows and audit entries are stored in a compact length-prefixed
+//! binary codec (`shs_vnistore::codec`); JSON stays available through
+//! [`VniDb::export_diagnostics`] for humans and deterministic reports.
 //!
 //! # Example
 //!
@@ -35,9 +63,15 @@
 //! assert_eq!((stats.quarantined, stats.free), (0, 2));
 //! ```
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
 use serde::{Deserialize, Serialize};
 use shs_des::{SimDur, SimTime};
 use shs_fabric::Vni;
+use shs_vnistore::codec::{
+    push_bytes, push_u16, push_u32, push_u64, read_slice, read_u16, read_u32, read_u64, read_u8,
+};
 use shs_vnistore::{Store, StoreConfig};
 
 /// Who owns an allocated VNI.
@@ -137,16 +171,153 @@ impl Default for VniDbConfig {
 const T_VNIS: &str = "vnis";
 const T_AUDIT: &str = "audit_log";
 
-/// The single quarantine-expiry predicate, shared by `acquire` (which
-/// treats expired rows as free) and `sweep_expired`/`stats` (which
-/// report them as free) so allocation and reporting can never diverge.
-fn quarantine_expired(row: &VniRow, quarantine: SimDur, now: SimTime) -> bool {
+// ---- Binary row/audit codec ---------------------------------------------
+//
+// Length-prefixed binary (shs_vnistore::codec primitives), one version
+// tag byte up front. Legacy JSON rows (first byte `{`) still decode, so
+// a device image written before the codec switch recovers cleanly.
+
+const CODEC_V1: u8 = 1;
+
+fn encode_row(row: &VniRow) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + row.users.len() * 16);
+    out.push(CODEC_V1);
+    push_u16(&mut out, row.vni);
     match row.state {
+        VniState::Allocated => out.push(0),
         VniState::Quarantined { released_at_ns } => {
-            now >= SimTime::from_nanos(released_at_ns) + quarantine
+            out.push(1);
+            push_u64(&mut out, released_at_ns);
         }
-        VniState::Allocated => false,
     }
+    let (tag, key) = owner_slot(&row.owner);
+    out.push(tag as u8);
+    push_bytes(&mut out, key.as_bytes());
+    push_u32(&mut out, row.users.len() as u32);
+    for user in &row.users {
+        push_bytes(&mut out, user.as_bytes());
+    }
+    out
+}
+
+fn try_decode_row(bytes: &[u8]) -> Option<VniRow> {
+    if bytes.first() == Some(&b'{') {
+        return serde_json::from_slice(bytes).ok(); // legacy JSON row
+    }
+    let mut off = 0usize;
+    if read_u8(bytes, &mut off)? != CODEC_V1 {
+        return None;
+    }
+    let vni = read_u16(bytes, &mut off)?;
+    let state = match read_u8(bytes, &mut off)? {
+        0 => VniState::Allocated,
+        1 => VniState::Quarantined { released_at_ns: read_u64(bytes, &mut off)? },
+        _ => return None,
+    };
+    let owner_tag = read_u8(bytes, &mut off)?;
+    let key = String::from_utf8(read_slice(bytes, &mut off)?.to_vec()).ok()?;
+    let owner = match owner_tag {
+        0 => VniOwner::Job { key },
+        1 => VniOwner::Claim { key },
+        _ => return None,
+    };
+    let n_users = read_u32(bytes, &mut off)? as usize;
+    let mut users = Vec::with_capacity(n_users.min(64));
+    for _ in 0..n_users {
+        users.push(String::from_utf8(read_slice(bytes, &mut off)?.to_vec()).ok()?);
+    }
+    (off == bytes.len()).then_some(VniRow { vni, state, owner, users })
+}
+
+fn encode_audit(entry: &AuditEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + entry.event.len());
+    out.push(CODEC_V1);
+    push_u64(&mut out, entry.at_ns);
+    push_u16(&mut out, entry.vni);
+    push_bytes(&mut out, entry.event.as_bytes());
+    out
+}
+
+fn try_decode_audit(bytes: &[u8]) -> Option<AuditEntry> {
+    if bytes.first() == Some(&b'{') {
+        return serde_json::from_slice(bytes).ok(); // legacy JSON entry
+    }
+    let mut off = 0usize;
+    if read_u8(bytes, &mut off)? != CODEC_V1 {
+        return None;
+    }
+    let at_ns = read_u64(bytes, &mut off)?;
+    let vni = read_u16(bytes, &mut off)?;
+    let event = String::from_utf8(read_slice(bytes, &mut off)?.to_vec()).ok()?;
+    (off == bytes.len()).then_some(AuditEntry { at_ns, event, vni })
+}
+
+/// Owner-map slots: one map per owner kind, so lookups borrow a `&str`
+/// instead of cloning an owner.
+const SLOT_JOB: usize = 0;
+const SLOT_CLAIM: usize = 1;
+
+fn owner_slot(owner: &VniOwner) -> (usize, &str) {
+    match owner {
+        VniOwner::Job { key } => (SLOT_JOB, key.as_str()),
+        VniOwner::Claim { key } => (SLOT_CLAIM, key.as_str()),
+    }
+}
+
+/// Allocator-level counters: how allocations were satisfied and how much
+/// expiry bookkeeping the indexes performed. Exposed by
+/// [`VniDb::counters`] and surfaced by `bench-run`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct VniDbCounters {
+    /// Successful acquisitions.
+    pub acquires: u64,
+    /// Acquisitions satisfied from the never-used free pool.
+    pub fresh_allocs: u64,
+    /// Acquisitions that reused a VNI whose quarantine had expired.
+    pub reuse_allocs: u64,
+    /// Acquisitions refused because nothing was allocatable.
+    pub exhaustions: u64,
+    /// Successful releases into quarantine.
+    pub releases: u64,
+    /// Successful user additions.
+    pub user_adds: u64,
+    /// Successful user removals.
+    pub user_removes: u64,
+    /// [`VniDb::sweep_expired`] invocations.
+    pub sweeps: u64,
+    /// Quarantine rows deleted by sweeps.
+    pub swept_rows: u64,
+    /// Heap entries promoted from quarantined to allocatable.
+    pub expiry_promotions: u64,
+}
+
+/// The write-through in-memory indexes. Invariants (checked by
+/// [`VniDb::check_index_consistency`]):
+///
+/// * `free` = range VNIs with **no row** in the store;
+/// * `owners[slot]` maps exactly the owners of **Allocated** rows;
+/// * `quarantined` maps exactly the **Quarantined** rows (expired or
+///   not) to their release instant;
+/// * every quarantined VNI is covered **once**: either still in the
+///   `expiry` heap (window not yet observed to pass) or in
+///   `expired`/`expired_out` (allocatable / sweep-only).
+#[derive(Debug, Default)]
+struct Indexes {
+    free: BTreeSet<u16>,
+    expired: BTreeSet<u16>,
+    /// Expired rows outside the configured range (possible after a
+    /// recovery with a narrower range): swept, but never re-allocated —
+    /// matching the scan allocator, which only probed in-range VNIs.
+    expired_out: BTreeSet<u16>,
+    quarantined: BTreeMap<u16, u64>,
+    expiry: BinaryHeap<Reverse<(u64, u16)>>,
+    owners: [BTreeMap<String, u16>; 2],
+    /// Highest `now` promotions have been evaluated at. The expired
+    /// sets are only valid relative to this instant; a call with an
+    /// earlier `now` (the public API takes arbitrary `SimTime`s)
+    /// triggers a demotion pass so quarantine is judged against the
+    /// caller's clock, exactly like the per-call scan predicate did.
+    watermark_ns: u64,
 }
 
 /// The VNI database.
@@ -155,19 +326,45 @@ pub struct VniDb {
     store: Store,
     config: VniDbConfig,
     next_audit_seq: u64,
+    idx: Indexes,
+    counters: VniDbCounters,
 }
 
 impl VniDb {
     /// Fresh database.
     pub fn new(config: VniDbConfig) -> Self {
-        VniDb { store: Store::new(StoreConfig::default()), config, next_audit_seq: 0 }
+        let idx = Indexes { free: config.range.clone().collect(), ..Default::default() };
+        VniDb {
+            store: Store::new(StoreConfig::default()),
+            config,
+            next_audit_seq: 0,
+            idx,
+            counters: VniDbCounters::default(),
+        }
     }
 
-    /// Recover a database from a crashed/persisted store image.
+    /// Recover a database from a crashed/persisted store image. One scan
+    /// of the `vnis` table rebuilds every index.
     pub fn recover(disk: shs_vnistore::SimDisk, config: VniDbConfig) -> Self {
         let store = Store::recover(disk, StoreConfig::default());
         let next_audit_seq = store.row_count(T_AUDIT) as u64;
-        VniDb { store, config, next_audit_seq }
+        let mut idx = Indexes { free: config.range.clone().collect(), ..Default::default() };
+        let q_ns = config.quarantine.as_nanos();
+        for (_, bytes) in store.scan(T_VNIS) {
+            let row = Self::decode_row(bytes);
+            idx.free.remove(&row.vni);
+            match row.state {
+                VniState::Allocated => {
+                    let (slot, key) = owner_slot(&row.owner);
+                    idx.owners[slot].insert(key.to_string(), row.vni);
+                }
+                VniState::Quarantined { released_at_ns } => {
+                    idx.quarantined.insert(row.vni, released_at_ns);
+                    idx.expiry.push(Reverse((released_at_ns.saturating_add(q_ns), row.vni)));
+                }
+            }
+        }
+        VniDb { store, config, next_audit_seq, idx, counters: VniDbCounters::default() }
     }
 
     /// Access the underlying store (crash injection in tests).
@@ -180,12 +377,25 @@ impl VniDb {
         self.config.quarantine
     }
 
+    /// Allocator counters for this instance (not carried across
+    /// recovery).
+    pub fn counters(&self) -> VniDbCounters {
+        self.counters
+    }
+
+    /// Committed transactions on the backing store (not carried across
+    /// recovery) — the paper's "one ACID transaction per operation"
+    /// invariant made countable.
+    pub fn txn_count(&self) -> u64 {
+        self.store.stats().commits
+    }
+
     fn key(vni: u16) -> [u8; 2] {
         vni.to_be_bytes()
     }
 
     fn decode_row(bytes: &[u8]) -> VniRow {
-        serde_json::from_slice(bytes).expect("vnis rows are valid JSON")
+        try_decode_row(bytes).expect("vnis rows decode (binary v1 or legacy JSON)")
     }
 
     /// Look up a row.
@@ -210,7 +420,7 @@ impl VniDb {
     pub fn audit(&self) -> Vec<AuditEntry> {
         self.store
             .scan(T_AUDIT)
-            .map(|(_, v)| serde_json::from_slice(v).expect("audit rows are valid JSON"))
+            .map(|(_, v)| try_decode_audit(v).expect("audit rows decode"))
             .collect()
     }
 
@@ -222,115 +432,183 @@ impl VniDb {
         self.audit()
     }
 
-    /// Find the VNI owned by `owner`, if any (idempotent re-sync path).
-    pub fn find_by_owner(&self, owner: &VniOwner) -> Option<VniRow> {
-        self.rows()
-            .into_iter()
-            .find(|r| r.state == VniState::Allocated && &r.owner == owner)
+    /// JSON view of the full database state (rows, audit log, allocator
+    /// counters) for diagnostics export. The hot tables are binary on
+    /// disk; this is the human-readable escape hatch, and it is
+    /// deterministic for a deterministic history.
+    pub fn export_diagnostics(&self) -> serde_json::Value {
+        serde_json::json!({
+            "rows": self.rows(),
+            "audit": self.audit(),
+            "counters": self.counters,
+        })
     }
 
-    /// Atomically acquire a fresh VNI for `owner`. Scans the range for a
-    /// VNI that is neither allocated nor inside the quarantine window —
-    /// check and insert happen in one transaction.
-    pub fn acquire(&mut self, owner: VniOwner, now: SimTime) -> Result<Vni, VniDbError> {
-        // Idempotency: an owner re-acquiring gets its existing VNI.
-        if let Some(row) = self.find_by_owner(&owner) {
-            return Ok(Vni(row.vni));
-        }
-        let seq = self.next_audit_seq;
-        let mut txn = self.store.begin();
-        let mut chosen: Option<u16> = None;
-        for vni in self.config.range.clone() {
-            match txn.get(T_VNIS, &Self::key(vni)) {
-                None => {
-                    chosen = Some(vni);
-                    break;
-                }
-                Some(bytes) => {
-                    let row = Self::decode_row(&bytes);
-                    if quarantine_expired(&row, self.config.quarantine, now) {
-                        chosen = Some(vni);
-                        break;
-                    }
-                }
+    /// Find the VNI owned by `owner`, if any (idempotent re-sync path).
+    /// An owner-index lookup plus one row fetch — no table scan.
+    pub fn find_by_owner(&self, owner: &VniOwner) -> Option<VniRow> {
+        let (slot, key) = owner_slot(owner);
+        let vni = *self.idx.owners[slot].get(key)?;
+        self.row(Vni(vni))
+    }
+
+    /// Bring the expired sets in line with `now`: every heap entry whose
+    /// quarantine window has passed moves into the allocatable/sweepable
+    /// sets, and — should `now` lie **before** an earlier promotion
+    /// point — entries whose window has *not* passed at this clock are
+    /// demoted back into the heap. Quarantine is therefore always judged
+    /// against the caller's `now`, matching the old per-call scan
+    /// predicate even for non-monotonic timestamps. Index-only: rows are
+    /// untouched, so this is safe on paths that subsequently fail.
+    fn promote_expired(&mut self, now: SimTime) {
+        let q_ns = self.config.quarantine.as_nanos();
+        if now.as_nanos() < self.idx.watermark_ns {
+            let unexpired: Vec<(u16, u64)> = self
+                .idx
+                .expired
+                .iter()
+                .chain(self.idx.expired_out.iter())
+                .filter_map(|vni| {
+                    let rel = *self.idx.quarantined.get(vni)?;
+                    (rel.saturating_add(q_ns) > now.as_nanos()).then_some((*vni, rel))
+                })
+                .collect();
+            for (vni, rel) in unexpired {
+                self.idx.expired.remove(&vni);
+                self.idx.expired_out.remove(&vni);
+                self.idx.expiry.push(Reverse((rel.saturating_add(q_ns), vni)));
             }
         }
-        let Some(vni) = chosen else {
-            return Err(VniDbError::Exhausted);
+        self.idx.watermark_ns = now.as_nanos();
+        while let Some(&Reverse((expires_at, vni))) = self.idx.expiry.peek() {
+            if expires_at > now.as_nanos() {
+                break;
+            }
+            self.idx.expiry.pop();
+            // Guard against a heap entry outliving its row (cannot happen
+            // under the covered-once invariant, but cheap to enforce).
+            if self.idx.quarantined.contains_key(&vni) {
+                if self.config.range.contains(&vni) {
+                    self.idx.expired.insert(vni);
+                } else {
+                    self.idx.expired_out.insert(vni);
+                }
+                self.counters.expiry_promotions += 1;
+            }
+        }
+    }
+
+    /// Atomically acquire a fresh VNI for `owner`: the minimum of the
+    /// free set and the expired-quarantine set — the same VNI the range
+    /// scan would have found, in O(log n). Check and insert happen in
+    /// one transaction.
+    pub fn acquire(&mut self, owner: VniOwner, now: SimTime) -> Result<Vni, VniDbError> {
+        // Idempotency: an owner re-acquiring gets its existing VNI.
+        {
+            let (slot, key) = owner_slot(&owner);
+            if let Some(&vni) = self.idx.owners[slot].get(key) {
+                return Ok(Vni(vni));
+            }
+        }
+        self.promote_expired(now);
+        let vni = match (self.idx.free.first(), self.idx.expired.first()) {
+            (Some(&f), Some(&e)) => f.min(e),
+            (Some(&f), None) => f,
+            (None, Some(&e)) => e,
+            (None, None) => {
+                self.counters.exhaustions += 1;
+                return Err(VniDbError::Exhausted);
+            }
         };
         let row = VniRow { vni, state: VniState::Allocated, owner, users: Vec::new() };
-        txn.put(T_VNIS, &Self::key(vni), &serde_json::to_vec(&row).expect("serializes"));
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        txn.put(T_VNIS, &Self::key(vni), &encode_row(&row));
         txn.put(
             T_AUDIT,
             &seq.to_be_bytes(),
-            &serde_json::to_vec(&AuditEntry {
-                at_ns: now.as_nanos(),
-                event: "acquire".into(),
-                vni,
-            })
-            .expect("serializes"),
+            &encode_audit(&AuditEntry { at_ns: now.as_nanos(), event: "acquire".into(), vni }),
         );
         txn.commit();
+        // Committed: fold the allocation into the indexes.
+        if self.idx.free.remove(&vni) {
+            self.counters.fresh_allocs += 1;
+        } else {
+            // Reused an expired quarantine row (overwritten by the put).
+            self.idx.expired.remove(&vni);
+            self.idx.quarantined.remove(&vni);
+            self.counters.reuse_allocs += 1;
+        }
+        let (slot, key) = owner_slot(&row.owner);
+        self.idx.owners[slot].insert(key.to_string(), vni);
+        self.counters.acquires += 1;
         self.next_audit_seq += 1;
         Ok(Vni(vni))
     }
 
     /// Atomically release a VNI into quarantine.
     pub fn release(&mut self, vni: Vni, now: SimTime) -> Result<(), VniDbError> {
-        let seq = self.next_audit_seq;
-        let mut txn = self.store.begin();
-        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
-        let mut row = Self::decode_row(&bytes);
+        let bytes = self.store.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(bytes);
         if row.state != VniState::Allocated {
             return Err(VniDbError::NotFound);
         }
         row.state = VniState::Quarantined { released_at_ns: now.as_nanos() };
         row.users.clear();
-        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        txn.put(T_VNIS, &Self::key(vni.raw()), &encode_row(&row));
         txn.put(
             T_AUDIT,
             &seq.to_be_bytes(),
-            &serde_json::to_vec(&AuditEntry {
+            &encode_audit(&AuditEntry {
                 at_ns: now.as_nanos(),
                 event: "release".into(),
                 vni: vni.raw(),
-            })
-            .expect("serializes"),
+            }),
         );
         txn.commit();
+        let (slot, key) = owner_slot(&row.owner);
+        self.idx.owners[slot].remove(key);
+        self.idx.quarantined.insert(vni.raw(), now.as_nanos());
+        self.idx
+            .expiry
+            .push(Reverse((now.as_nanos().saturating_add(self.config.quarantine.as_nanos()), vni.raw())));
+        self.counters.releases += 1;
         self.next_audit_seq += 1;
         Ok(())
     }
 
     /// Find the VNI allocated to a claim by claim key (`ns/name`).
     pub fn find_by_claim(&self, claim_key: &str) -> Option<VniRow> {
-        self.find_by_owner(&VniOwner::Claim { key: claim_key.to_string() })
+        let vni = *self.idx.owners[SLOT_CLAIM].get(claim_key)?;
+        self.row(Vni(vni))
     }
 
     /// Atomically add a user (a job key) to a claim-owned VNI.
     pub fn add_user(&mut self, vni: Vni, user: &str, now: SimTime) -> Result<(), VniDbError> {
-        let seq = self.next_audit_seq;
-        let mut txn = self.store.begin();
-        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
-        let mut row = Self::decode_row(&bytes);
+        let bytes = self.store.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(bytes);
         if row.state != VniState::Allocated {
             return Err(VniDbError::NotFound);
         }
         if !row.users.iter().any(|u| u == user) {
             row.users.push(user.to_string());
         }
-        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        txn.put(T_VNIS, &Self::key(vni.raw()), &encode_row(&row));
         txn.put(
             T_AUDIT,
             &seq.to_be_bytes(),
-            &serde_json::to_vec(&AuditEntry {
+            &encode_audit(&AuditEntry {
                 at_ns: now.as_nanos(),
                 event: format!("add_user:{user}"),
                 vni: vni.raw(),
-            })
-            .expect("serializes"),
+            }),
         );
         txn.commit();
+        self.counters.user_adds += 1;
         self.next_audit_seq += 1;
         Ok(())
     }
@@ -342,27 +620,27 @@ impl VniDb {
         user: &str,
         now: SimTime,
     ) -> Result<usize, VniDbError> {
-        let seq = self.next_audit_seq;
-        let mut txn = self.store.begin();
-        let bytes = txn.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
-        let mut row = Self::decode_row(&bytes);
+        let bytes = self.store.get(T_VNIS, &Self::key(vni.raw())).ok_or(VniDbError::NotFound)?;
+        let mut row = Self::decode_row(bytes);
         if row.state != VniState::Allocated {
             return Err(VniDbError::NotFound);
         }
         row.users.retain(|u| u != user);
         let remaining = row.users.len();
-        txn.put(T_VNIS, &Self::key(vni.raw()), &serde_json::to_vec(&row).expect("serializes"));
+        let seq = self.next_audit_seq;
+        let mut txn = self.store.begin();
+        txn.put(T_VNIS, &Self::key(vni.raw()), &encode_row(&row));
         txn.put(
             T_AUDIT,
             &seq.to_be_bytes(),
-            &serde_json::to_vec(&AuditEntry {
+            &encode_audit(&AuditEntry {
                 at_ns: now.as_nanos(),
                 event: format!("remove_user:{user}"),
                 vni: vni.raw(),
-            })
-            .expect("serializes"),
+            }),
         );
         txn.commit();
+        self.counters.user_removes += 1;
         self.next_audit_seq += 1;
         Ok(remaining)
     }
@@ -380,64 +658,153 @@ impl VniDb {
         self.release(Vni(row.vni), now)
     }
 
-    /// Count of currently allocated VNIs.
+    /// Count of currently allocated VNIs — an index size, not a scan.
     pub fn allocated_count(&self) -> usize {
-        self.rows().iter().filter(|r| r.state == VniState::Allocated).count()
+        self.idx.owners[SLOT_JOB].len() + self.idx.owners[SLOT_CLAIM].len()
     }
 
     /// Sweep quarantined rows whose window has passed: each is deleted
     /// (returning the VNI to the free pool) and a `quarantine_expire`
     /// audit entry is appended, all in one transaction. Returns the
-    /// number of rows swept.
+    /// number of rows swept. Touches only actually-expired rows — the
+    /// expiry heap finds them without decoding the table.
     ///
     /// Allocation has always *treated* expired rows as free; before this
     /// sweep existed, audit/stats readers still saw them as quarantined,
     /// so reported counts disagreed with what `acquire` would actually
     /// do. [`VniDb::stats`] calls this first for consistent reads.
     pub fn sweep_expired(&mut self, now: SimTime) -> usize {
-        let expired: Vec<u16> = self
-            .rows()
-            .into_iter()
-            .filter(|r| quarantine_expired(r, self.config.quarantine, now))
-            .map(|r| r.vni)
-            .collect();
-        if expired.is_empty() {
+        self.counters.sweeps += 1;
+        self.promote_expired(now);
+        if self.idx.expired.is_empty() && self.idx.expired_out.is_empty() {
             return 0;
         }
+        // Ascending-VNI order, like the scan-based sweep appended.
+        let expired: Vec<u16> = self
+            .idx
+            .expired
+            .iter()
+            .chain(self.idx.expired_out.iter())
+            .copied()
+            .collect::<BTreeSet<u16>>()
+            .into_iter()
+            .collect();
         let mut seq = self.next_audit_seq;
         let mut txn = self.store.begin();
-        for vni in &expired {
-            txn.delete(T_VNIS, &Self::key(*vni));
+        for &vni in &expired {
+            txn.delete(T_VNIS, &Self::key(vni));
             txn.put(
                 T_AUDIT,
                 &seq.to_be_bytes(),
-                &serde_json::to_vec(&AuditEntry {
+                &encode_audit(&AuditEntry {
                     at_ns: now.as_nanos(),
                     event: "quarantine_expire".into(),
-                    vni: *vni,
-                })
-                .expect("serializes"),
+                    vni,
+                }),
             );
             seq += 1;
         }
         txn.commit();
+        for &vni in &expired {
+            self.idx.expired.remove(&vni);
+            self.idx.expired_out.remove(&vni);
+            self.idx.quarantined.remove(&vni);
+            if self.config.range.contains(&vni) {
+                self.idx.free.insert(vni);
+            }
+        }
         self.next_audit_seq = seq;
+        self.counters.swept_rows += expired.len() as u64;
         expired.len()
     }
 
     /// Consistent occupancy split of the configured range at `now`.
     /// Sweeps expired quarantines first, so `quarantined` only counts
-    /// VNIs that `acquire` would actually refuse.
+    /// VNIs that `acquire` would actually refuse — then the split is
+    /// three index sizes, O(1).
     pub fn stats(&mut self, now: SimTime) -> VniDbStats {
         self.sweep_expired(now);
-        let rows = self.rows();
-        let allocated = rows.iter().filter(|r| r.state == VniState::Allocated).count();
-        let quarantined = rows.len() - allocated;
         VniDbStats {
-            allocated,
-            quarantined,
-            free: self.config.range.len() - rows.len(),
+            allocated: self.allocated_count(),
+            quarantined: self.idx.quarantined.len(),
+            free: self.idx.free.len(),
         }
+    }
+
+    /// Verify every index invariant against a full (slow) table scan.
+    /// Diagnostics/tests only — the regression and oracle suites call
+    /// this after every operation, including failed ones.
+    pub fn check_index_consistency(&self) -> Result<(), String> {
+        let mut want_owners: [BTreeMap<String, u16>; 2] = Default::default();
+        let mut want_quar: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut present: BTreeSet<u16> = BTreeSet::new();
+        for (_, bytes) in self.store.scan(T_VNIS) {
+            let row = try_decode_row(bytes)
+                .ok_or_else(|| "undecodable row in vnis table".to_string())?;
+            present.insert(row.vni);
+            match row.state {
+                VniState::Allocated => {
+                    let (slot, key) = owner_slot(&row.owner);
+                    want_owners[slot].insert(key.to_string(), row.vni);
+                }
+                VniState::Quarantined { released_at_ns } => {
+                    want_quar.insert(row.vni, released_at_ns);
+                }
+            }
+        }
+        let want_free: BTreeSet<u16> =
+            self.config.range.clone().filter(|v| !present.contains(v)).collect();
+        if self.idx.free != want_free {
+            return Err(format!(
+                "free index diverged: idx={:?} store={:?}",
+                self.idx.free, want_free
+            ));
+        }
+        if self.idx.owners != want_owners {
+            return Err(format!(
+                "owner index diverged: idx={:?} store={:?}",
+                self.idx.owners, want_owners
+            ));
+        }
+        if self.idx.quarantined != want_quar {
+            return Err(format!(
+                "quarantine index diverged: idx={:?} store={:?}",
+                self.idx.quarantined, want_quar
+            ));
+        }
+        // Covered-once: heap ∪ expired ∪ expired_out = quarantined keys,
+        // with no VNI counted twice and heap deadlines matching rows.
+        let q_ns = self.config.quarantine.as_nanos();
+        let mut covered: BTreeSet<u16> =
+            self.idx.expired.union(&self.idx.expired_out).copied().collect();
+        if covered.len() != self.idx.expired.len() + self.idx.expired_out.len() {
+            return Err("a VNI is in both expired sets".into());
+        }
+        for &Reverse((expires_at, vni)) in self.idx.expiry.iter() {
+            let Some(&rel) = self.idx.quarantined.get(&vni) else {
+                return Err(format!("stale heap entry for VNI {vni}"));
+            };
+            if rel.saturating_add(q_ns) != expires_at {
+                return Err(format!("heap deadline mismatch for VNI {vni}"));
+            }
+            if !covered.insert(vni) {
+                return Err(format!("VNI {vni} covered twice (heap + expired set)"));
+            }
+        }
+        let quar_keys: BTreeSet<u16> = self.idx.quarantined.keys().copied().collect();
+        if covered != quar_keys {
+            return Err(format!(
+                "quarantine coverage diverged: covered={covered:?} rows={quar_keys:?}"
+            ));
+        }
+        if self.next_audit_seq != self.store.row_count(T_AUDIT) as u64 {
+            return Err(format!(
+                "audit cursor diverged: next_audit_seq={} audit rows={}",
+                self.next_audit_seq,
+                self.store.row_count(T_AUDIT)
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -599,5 +966,146 @@ mod tests {
         assert_eq!(row.state, VniState::Allocated);
         assert_eq!(row.users, vec!["u".to_string()]);
         assert_eq!(db2.audit_len(), 2);
+        db2.check_index_consistency().expect("rebuilt indexes agree with the store");
+    }
+
+    #[test]
+    fn row_codec_roundtrips_every_shape() {
+        let rows = [
+            VniRow {
+                vni: 1024,
+                state: VniState::Allocated,
+                owner: VniOwner::Job { key: "ns/j".into() },
+                users: vec![],
+            },
+            VniRow {
+                vni: 4095,
+                state: VniState::Quarantined { released_at_ns: u64::MAX },
+                owner: VniOwner::Claim { key: "".into() },
+                users: vec!["a/b".into(), "c/d".into()],
+            },
+        ];
+        for row in rows {
+            assert_eq!(try_decode_row(&encode_row(&row)), Some(row));
+        }
+        let entry = AuditEntry { at_ns: 7, event: "add_user:n/x".into(), vni: 2048 };
+        assert_eq!(try_decode_audit(&encode_audit(&entry)), Some(entry));
+    }
+
+    #[test]
+    fn row_codec_rejects_truncation_and_accepts_legacy_json() {
+        let row = VniRow {
+            vni: 1500,
+            state: VniState::Quarantined { released_at_ns: 123 },
+            owner: VniOwner::Job { key: "t/j".into() },
+            users: vec!["u1".into()],
+        };
+        let bytes = encode_row(&row);
+        for cut in 0..bytes.len() {
+            assert_eq!(try_decode_row(&bytes[..cut]), None, "truncated at {cut}");
+        }
+        // Trailing garbage is rejected too (off must land exactly at end).
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(try_decode_row(&long), None);
+        // A legacy JSON row still decodes.
+        let json = serde_json::to_vec(&row).unwrap();
+        assert_eq!(try_decode_row(&json), Some(row));
+    }
+
+    #[test]
+    fn counters_track_allocation_sources() {
+        let mut db = db();
+        let v = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.release(v, SimTime::ZERO).unwrap();
+        // Reuse after expiry: the same VNI comes back from the expired set.
+        let t = SimTime::from_nanos(31_000_000_000);
+        assert_eq!(db.acquire(job("ns/b"), t).unwrap(), v);
+        let c = db.counters();
+        assert_eq!((c.acquires, c.fresh_allocs, c.reuse_allocs), (2, 1, 1));
+        assert_eq!((c.releases, c.expiry_promotions), (1, 1));
+        // Exhaustion counts, and failed acquires leave indexes intact.
+        let mut tiny = VniDb::new(VniDbConfig {
+            range: 2000..2001,
+            quarantine: SimDur::from_secs(30),
+        });
+        tiny.acquire(job("t/a"), SimTime::ZERO).unwrap();
+        assert!(tiny.acquire(job("t/b"), SimTime::ZERO).is_err());
+        assert_eq!(tiny.counters().exhaustions, 1);
+        tiny.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn export_diagnostics_is_json_with_rows_audit_counters() {
+        let mut db = db();
+        let v = db.acquire(job("ns/a"), SimTime::ZERO).unwrap();
+        db.add_user(v, "u", SimTime::ZERO).unwrap();
+        let diag = db.export_diagnostics();
+        assert_eq!(diag["rows"].as_array().unwrap().len(), 1);
+        assert_eq!(diag["audit"].as_array().unwrap().len(), 2);
+        assert_eq!(diag["counters"]["acquires"].as_u64(), Some(1));
+        // Deterministic for a deterministic history.
+        let twice = db.export_diagnostics();
+        assert_eq!(
+            serde_json::to_string_pretty(&diag).unwrap(),
+            serde_json::to_string_pretty(&twice).unwrap()
+        );
+    }
+
+    #[test]
+    fn quarantine_is_judged_against_the_callers_clock_even_backwards() {
+        // The public API takes arbitrary SimTimes. A late observation
+        // must not leave a VNI marked reusable for an earlier caller:
+        // the scan allocator re-evaluated expiry per call, and the
+        // indexed one must match (regression for sticky promotion).
+        let mut db = VniDb::new(VniDbConfig {
+            range: 2048..2051,
+            quarantine: SimDur::from_secs(30),
+        });
+        let t = |s: u64| SimTime::from_nanos(s * 1_000_000_000);
+        let a = db.acquire(job("ns/a"), t(0)).unwrap();
+        let b = db.acquire(job("ns/b"), t(0)).unwrap();
+        assert_eq!((a, b), (Vni(2048), Vni(2049)));
+        db.release(a, t(0)).unwrap();
+        db.release(b, t(0)).unwrap();
+        // An acquire far past the window promotes BOTH expired entries
+        // but allocates only the lower one — 2049 stays promoted.
+        assert_eq!(db.acquire(job("ns/c"), t(100)).unwrap(), Vni(2048));
+        // Clock rewinds to t=10s, inside 2049's window: the allocator
+        // must demote it and hand out the genuinely free 2050 instead.
+        assert_eq!(db.acquire(job("ns/d"), t(10)).unwrap(), Vni(2050));
+        db.check_index_consistency().unwrap();
+        // A sweep at the earlier clock must not delete the unexpired row
+        // or log a premature quarantine_expire.
+        assert_eq!(db.sweep_expired(t(10)), 0);
+        assert_eq!(db.stats(t(10)).quarantined, 1, "2049 is still quarantined at t=10");
+        assert_eq!(
+            db.acquire(job("ns/e"), t(10)).unwrap_err(),
+            VniDbError::Exhausted,
+            "nothing allocatable at t=10"
+        );
+        db.check_index_consistency().unwrap();
+        // Once the clock genuinely passes the window, 2049 comes back.
+        assert_eq!(db.acquire(job("ns/e"), t(30)).unwrap(), Vni(2049));
+        db.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn indexes_stay_consistent_through_a_lifecycle() {
+        let mut db = db();
+        let t = |s: u64| SimTime::from_nanos(s * 1_000_000_000);
+        let claim = VniOwner::Claim { key: "ns/c".into() };
+        let v = db.acquire(claim, t(0)).unwrap();
+        db.check_index_consistency().unwrap();
+        db.add_user(v, "ns/u", t(1)).unwrap();
+        db.check_index_consistency().unwrap();
+        assert!(db.release_claim("ns/c", t(2)).is_err());
+        db.check_index_consistency().unwrap();
+        db.remove_user(v, "ns/u", t(3)).unwrap();
+        db.release_claim("ns/c", t(4)).unwrap();
+        db.check_index_consistency().unwrap();
+        db.sweep_expired(t(35));
+        db.check_index_consistency().unwrap();
+        assert_eq!(db.stats(t(35)), VniDbStats { allocated: 0, quarantined: 0, free: 6 });
     }
 }

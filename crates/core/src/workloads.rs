@@ -1,0 +1,155 @@
+//! Canonical VNI-database workloads, shared by the Criterion `micro`
+//! bench targets (`shs-bench`) and the `bench-run` trajectory binary
+//! (`shs-harness`). One definition of each workload means the two
+//! harnesses always time **the same thing** — tune a prefill count or
+//! clock step here and both pick it up, keeping cross-PR comparisons in
+//! `results/BENCH_pr<N>.json` like-for-like.
+//!
+//! Both workloads run at the default range width (3072, §III-C1's
+//! VNI space minus the reserved global VNI).
+
+use shs_des::{SimDur, SimTime};
+use shs_fabric::Vni;
+
+use crate::vni_db::{VniDb, VniDbConfig, VniOwner};
+
+/// Allocate/release cycles with the clock pinned at t=0: released VNIs
+/// pile up in quarantine (a teardown storm inside one 30 s window), so
+/// the allocator must get past an ever-growing quarantined prefix.
+/// Nothing ever becomes reusable at a pinned clock, so once the range
+/// is exhausted (every 3072 steps) the workload resets to a fresh
+/// database and the backlog profile restarts — any sample budget is
+/// safe.
+#[derive(Debug)]
+pub struct AcquireReleaseWorkload {
+    db: VniDb,
+    i: u64,
+    epoch_steps: u64,
+}
+
+impl AcquireReleaseWorkload {
+    /// Fresh database at the default range width.
+    pub fn new() -> Self {
+        AcquireReleaseWorkload { db: VniDb::new(VniDbConfig::default()), i: 0, epoch_steps: 0 }
+    }
+
+    /// One acquire + release for a fresh owner.
+    pub fn step(&mut self) -> Vni {
+        if self.epoch_steps >= VniDbConfig::default().range.len() as u64 {
+            // Every VNI is now quarantined at the pinned clock: restart
+            // the epoch instead of panicking on Exhausted.
+            self.db = VniDb::new(VniDbConfig::default());
+            self.epoch_steps = 0;
+        }
+        let owner = VniOwner::Job { key: format!("ns/j{}", self.i) };
+        self.i += 1;
+        self.epoch_steps += 1;
+        let vni = self.db.acquire(owner, SimTime::ZERO).expect("capacity");
+        self.db.release(vni, SimTime::ZERO).expect("release");
+        vni
+    }
+
+    /// The database under measurement (counter inspection).
+    pub fn db(&self) -> &VniDb {
+        &self.db
+    }
+}
+
+impl Default for AcquireReleaseWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The high-occupancy hot path: [`ChurnHotWorkload::STANDING`] of the
+/// 3072 default-range VNIs are held by standing tenants while one job
+/// churns through the remainder, the clock stepping past the 30 s
+/// quarantine each cycle — every acquire must get past the standing
+/// allocations to the single reusable VNI.
+#[derive(Debug)]
+pub struct ChurnHotWorkload {
+    db: VniDb,
+    now: SimTime,
+    i: u64,
+}
+
+impl ChurnHotWorkload {
+    /// VNIs held by standing tenants for the whole workload.
+    pub const STANDING: u64 = 3000;
+
+    /// Database prefilled with the standing allocations.
+    pub fn new() -> Self {
+        let mut db = VniDb::new(VniDbConfig::default());
+        for i in 0..Self::STANDING {
+            db.acquire(VniOwner::Job { key: format!("standing/s{i}") }, SimTime::ZERO)
+                .expect("prefill capacity");
+        }
+        ChurnHotWorkload { db, now: SimTime::ZERO, i: 0 }
+    }
+
+    /// One churn cycle: advance past the quarantine window, acquire for
+    /// a fresh owner, release immediately.
+    pub fn step(&mut self) -> Vni {
+        self.now += SimDur::from_secs(31);
+        let owner = VniOwner::Job { key: format!("hot/h{}", self.i) };
+        self.i += 1;
+        let vni = self.db.acquire(owner, self.now).expect("capacity");
+        self.db.release(vni, self.now).expect("release");
+        vni
+    }
+
+    /// The database under measurement (counter inspection).
+    pub fn db(&self) -> &VniDb {
+        &self.db
+    }
+}
+
+impl Default for ChurnHotWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_steps_use_distinct_owners() {
+        let mut w = AcquireReleaseWorkload::new();
+        let a = w.step();
+        let b = w.step();
+        // At a pinned clock the released VNI stays quarantined, so each
+        // step moves to the next free VNI.
+        assert_ne!(a, b);
+        assert_eq!(w.db().counters().acquires, 2);
+    }
+
+    #[test]
+    fn acquire_release_survives_range_exhaustion_by_resetting() {
+        // 3072 steps quarantine the whole default range; step 3073 must
+        // roll into a fresh epoch instead of panicking (bench sample
+        // budgets should never be able to abort a measurement run).
+        let mut w = AcquireReleaseWorkload::new();
+        let first = w.step();
+        for _ in 0..3_071 {
+            w.step(); // finish the first epoch: all 3072 VNIs quarantined
+        }
+        assert_eq!(w.step(), first, "fresh epoch restarts at the range base");
+    }
+
+    #[test]
+    fn churn_hot_reaches_steady_state_reuse() {
+        let mut w = ChurnHotWorkload::new();
+        assert_eq!(w.db().counters().acquires, ChurnHotWorkload::STANDING);
+        let first = w.step(); // consumes a fresh VNI past the standing block
+        for _ in 0..3 {
+            // Steady state: the clock stepped past the window, so the
+            // same VNI is reused every cycle.
+            assert_eq!(w.step(), first);
+        }
+        let c = w.db().counters();
+        assert_eq!(c.reuse_allocs, 3);
+        assert_eq!(w.db().allocated_count() as u64, ChurnHotWorkload::STANDING);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error-path regressions for the indexed `VniDb`: a failed operation
+//! must leave the audit cursor (`next_audit_seq`) and every in-memory
+//! index exactly as it found them. Each test interleaves failing and
+//! succeeding operations and asserts full index/store agreement via
+//! `VniDb::check_index_consistency` (which also cross-checks the audit
+//! cursor against the persisted `audit_log` row count).
+
+use shs_des::{SimDur, SimTime};
+use shs_fabric::Vni;
+use slingshot_k8s::{VniDb, VniDbConfig, VniDbError, VniOwner};
+
+fn db(width: u16) -> VniDb {
+    VniDb::new(VniDbConfig { range: 4000..4000 + width, quarantine: SimDur::from_secs(30) })
+}
+
+fn job(key: &str) -> VniOwner {
+    VniOwner::Job { key: key.to_string() }
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_nanos(secs * 1_000_000_000)
+}
+
+#[track_caller]
+fn assert_clean(db: &VniDb) {
+    db.check_index_consistency().expect("indexes agree with the store");
+}
+
+#[test]
+fn failed_release_leaves_audit_and_indexes_untouched() {
+    let mut db = db(4);
+    let v = db.acquire(job("ns/a"), t(0)).unwrap();
+    let audit_before = db.audit();
+    let stats_before = db.stats(t(1));
+
+    // Never-allocated VNI, out-of-range VNI, then a double release.
+    assert_eq!(db.release(Vni(4001), t(1)).unwrap_err(), VniDbError::NotFound);
+    assert_eq!(db.release(Vni(9), t(1)).unwrap_err(), VniDbError::NotFound);
+    assert_clean(&db);
+    db.release(v, t(2)).unwrap();
+    assert_eq!(db.release(v, t(3)).unwrap_err(), VniDbError::NotFound);
+    assert_clean(&db);
+
+    // Only the successful release appended.
+    let events: Vec<String> = db.audit().into_iter().map(|e| e.event).collect();
+    assert_eq!(events.len(), audit_before.len() + 1);
+    assert_eq!(events.last().map(String::as_str), Some("release"));
+    assert_eq!(stats_before.allocated, 1);
+    assert_eq!(db.stats(t(3)).allocated, 0);
+}
+
+#[test]
+fn failed_user_ops_leave_audit_and_indexes_untouched() {
+    let mut db = db(4);
+    let claim = VniOwner::Claim { key: "ns/c".into() };
+    let v = db.acquire(claim, t(0)).unwrap();
+
+    // add_user/remove_user on a missing VNI.
+    assert_eq!(db.add_user(Vni(4003), "u", t(1)).unwrap_err(), VniDbError::NotFound);
+    assert_eq!(db.remove_user(Vni(4003), "u", t(1)).unwrap_err(), VniDbError::NotFound);
+    assert_clean(&db);
+    assert_eq!(db.audit_len(), 1, "only the acquire is logged");
+
+    // Interleave a success, then fail on a quarantined VNI.
+    db.add_user(v, "ns/u1", t(2)).unwrap();
+    assert_clean(&db);
+    let solo = db.acquire(job("ns/solo"), t(2)).unwrap();
+    db.release(solo, t(3)).unwrap();
+    assert_eq!(db.add_user(solo, "ns/u2", t(4)).unwrap_err(), VniDbError::NotFound);
+    assert_eq!(db.remove_user(solo, "ns/u2", t(4)).unwrap_err(), VniDbError::NotFound);
+    assert_clean(&db);
+
+    // remove_user of a user that was never attached still succeeds (a
+    // retained no-op) and must keep indexes aligned.
+    assert_eq!(db.remove_user(v, "ns/ghost", t(5)).unwrap(), 1);
+    assert_clean(&db);
+}
+
+#[test]
+fn stalled_claim_delete_then_success_keeps_indexes_aligned() {
+    let mut db = db(4);
+    let v = db.acquire(VniOwner::Claim { key: "ns/c".into() }, t(0)).unwrap();
+    db.add_user(v, "ns/j1", t(1)).unwrap();
+
+    // ClaimInUse: no audit append, no index mutation.
+    let before = db.audit_len();
+    assert_eq!(db.release_claim("ns/c", t(2)).unwrap_err(), VniDbError::ClaimInUse);
+    assert_eq!(db.release_claim("ns/missing", t(2)).unwrap_err(), VniDbError::NotFound);
+    assert_eq!(db.audit_len(), before);
+    assert_clean(&db);
+
+    db.remove_user(v, "ns/j1", t(3)).unwrap();
+    db.release_claim("ns/c", t(4)).unwrap();
+    assert_clean(&db);
+    assert_eq!(db.allocated_count(), 0);
+}
+
+#[test]
+fn exhaustion_interleaved_with_success_keeps_indexes_aligned() {
+    let mut db = db(2);
+    db.acquire(job("ns/a"), t(0)).unwrap();
+    db.acquire(job("ns/b"), t(0)).unwrap();
+    for attempt in 0..3 {
+        assert_eq!(
+            db.acquire(job(&format!("ns/late{attempt}")), t(1)).unwrap_err(),
+            VniDbError::Exhausted
+        );
+        assert_clean(&db);
+    }
+    assert_eq!(db.audit_len(), 2, "failed acquires append nothing");
+
+    // Free one; the next acquire succeeds only after quarantine, and
+    // every failed probe in between stays side-effect free.
+    db.release(Vni(4000), t(2)).unwrap();
+    assert_eq!(db.acquire(job("ns/c"), t(10)).unwrap_err(), VniDbError::Exhausted);
+    assert_clean(&db);
+    assert_eq!(db.acquire(job("ns/c"), t(32)).unwrap(), Vni(4000));
+    assert_clean(&db);
+}
+
+#[test]
+fn indexes_survive_crash_recovery_after_failures() {
+    let mut db = db(3);
+    let v = db.acquire(job("ns/a"), t(0)).unwrap();
+    db.acquire(VniOwner::Claim { key: "ns/c".into() }, t(0)).unwrap();
+    assert!(db.release(Vni(4002), t(1)).is_err());
+    db.release(v, t(1)).unwrap();
+    assert!(db.add_user(v, "u", t(2)).is_err());
+
+    let mut rng = shs_des::DetRng::new(11);
+    let disk = db.into_store().crash(&mut rng);
+    let mut db = VniDb::recover(
+        disk,
+        VniDbConfig { range: 4000..4003, quarantine: SimDur::from_secs(30) },
+    );
+    assert_clean(&db);
+    // The recovered database keeps enforcing quarantine and owner reuse.
+    assert_eq!(
+        db.acquire(VniOwner::Claim { key: "ns/c".into() }, t(3)).unwrap(),
+        Vni(4001),
+        "claim re-acquire is idempotent after recovery"
+    );
+    assert_eq!(db.acquire(job("ns/new"), t(3)).unwrap(), Vni(4002));
+    assert_eq!(db.acquire(job("ns/more"), t(3)).unwrap_err(), VniDbError::Exhausted);
+    assert_eq!(db.acquire(job("ns/more"), t(40)).unwrap(), v, "post-quarantine reuse");
+    assert_clean(&db);
+}

@@ -1,0 +1,254 @@
+//! `bench-run` — the machine-readable perf trajectory.
+//!
+//! ```text
+//! bench-run [--quick] [--baseline FILE] [--label NAME] [--out FILE]
+//! ```
+//!
+//! Times the control-plane hot paths the paper's VNI Database serializes
+//! (§III-C2) and the end-to-end scenario engine, then emits one JSON
+//! document (`shs-bench/v1`) with the **median ns/op** per benchmark and
+//! **events/sec** per scenario. Passing `--baseline FILE` (a previous
+//! `bench-run` output) folds that run's medians in as
+//! `baseline_median_ns_per_op` plus a `speedup_vs_baseline` ratio, so
+//! every PR's `results/BENCH_pr<N>.json` records before *and* after.
+//!
+//! Benchmarks:
+//! * `vni_db_acquire_release` — allocate/release cycles at the default
+//!   range width (3072) with the clock pinned at t=0, so released VNIs
+//!   pile up in quarantine and the allocator must step past them;
+//! * `vni_db_churn_hot` — the high-occupancy hot path: 3000 of 3072
+//!   VNIs stay allocated while one tenant churns through the remainder,
+//!   the clock advancing past the 30 s quarantine each cycle;
+//! * `store_txn_commit` — a single-put ACID transaction (WAL append +
+//!   fsync + apply), the floor under every VniDb operation.
+//!
+//! Scenarios (`churn`, `steady-state`) run once under the DES clock;
+//! their event counts are deterministic, their wall-clock is not.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+use shs_vnistore::{Store, StoreConfig};
+use slingshot_k8s::{by_name, run_scenario, AcquireReleaseWorkload, ChurnHotWorkload, VniDb};
+
+struct Opts {
+    quick: bool,
+    baseline: Option<PathBuf>,
+    label: String,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts =
+        Opts { quick: false, baseline: None, label: "bench-run".into(), out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--baseline" => {
+                let v = args.next().unwrap_or_else(|| usage("--baseline needs a path"));
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--label" => {
+                opts.label = args.next().unwrap_or_else(|| usage("--label needs a value"));
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                opts.out = Some(PathBuf::from(v));
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench-run: {msg}");
+    eprintln!("usage: bench-run [--quick] [--baseline FILE] [--label NAME] [--out FILE]");
+    std::process::exit(2);
+}
+
+/// Median of per-op timings, one entry per sample.
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Time `op` for `samples` batches of `iters` calls; returns the median
+/// ns/op over samples (each sample's mean is one data point).
+fn measure(samples: usize, iters: u64, mut op: impl FnMut()) -> f64 {
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        per_op.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    median(per_op)
+}
+
+fn bench_entry(name: &str, median_ns: f64, samples: usize, iters: u64) -> Value {
+    json!({
+        "name": name,
+        "median_ns_per_op": round1(median_ns),
+        "samples": samples,
+        "iters_per_sample": iters,
+    })
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Allocate/release cycles with the clock pinned at t=0 — the exact
+/// workload the `vni_db_acquire_release` Criterion target times (one
+/// shared definition in `slingshot_k8s::workloads`).
+fn bench_acquire_release(samples: usize, iters: u64) -> f64 {
+    let mut w = AcquireReleaseWorkload::new();
+    measure(samples, iters, || {
+        w.step();
+    })
+}
+
+/// The high-occupancy hot path timed by the `vni_db_churn_hot`
+/// Criterion target — same shared definition, see
+/// `slingshot_k8s::workloads::ChurnHotWorkload`.
+fn bench_churn_hot(samples: usize, iters: u64) -> (f64, ChurnHotWorkload) {
+    let mut w = ChurnHotWorkload::new();
+    let med = measure(samples, iters, || {
+        w.step();
+    });
+    (med, w)
+}
+
+fn bench_store_commit(samples: usize, iters: u64) -> f64 {
+    let mut store = Store::new(StoreConfig { snapshot_every: None });
+    let mut i = 0u64;
+    measure(samples, iters, || {
+        let mut txn = store.begin();
+        txn.put("vnis", &i.to_be_bytes(), b"row");
+        i += 1;
+        txn.commit();
+    })
+}
+
+/// Run one library scenario, returning (events executed, wall seconds).
+fn run_scenario_timed(name: &str) -> (u64, f64) {
+    let scenario = by_name(name, 42).expect("library scenario");
+    let start = Instant::now();
+    let report = run_scenario(&scenario);
+    (report.events_executed, start.elapsed().as_secs_f64())
+}
+
+/// Baseline medians from a previous bench-run output, keyed by name.
+fn baseline_map(path: &PathBuf, section: &str, field: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("bench-run: cannot read baseline {}", path.display());
+        std::process::exit(2);
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        eprintln!("bench-run: baseline {} is not valid JSON", path.display());
+        std::process::exit(2);
+    };
+    let mut out = Vec::new();
+    if let Some(entries) = doc[section].as_array() {
+        for e in entries {
+            if let (Some(name), Some(v)) = (e["name"].as_str(), e[field].as_f64()) {
+                out.push((name.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+fn fold_baseline(entries: &mut [Value], baseline: &[(String, f64)], field: &str) {
+    for e in entries.iter_mut() {
+        let Some(name) = e["name"].as_str() else { continue };
+        let Some(&(_, base)) = baseline.iter().find(|(n, _)| n == name) else { continue };
+        let Some(current) = e[field].as_f64() else { continue };
+        if let Value::Object(map) = e {
+            map.insert(format!("baseline_{field}"), json!(round1(base)));
+            if current > 0.0 {
+                let ratio =
+                    if field.ends_with("per_sec") { current / base } else { base / current };
+                map.insert("speedup_vs_baseline".into(), json!(round1(ratio)));
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    // Sample/iteration budgets keep acquire_release inside one workload
+    // epoch (the backlog profile stays comparable across runs) and keep
+    // churn_hot affordable on un-indexed builds.
+    let (samples, ar_iters, churn_iters, store_iters) =
+        if opts.quick { (7, 100, 10, 200) } else { (15, 150, 20, 500) };
+
+    eprintln!("bench-run: timing vni_db_acquire_release ...");
+    let ar = bench_acquire_release(samples, ar_iters);
+    eprintln!("bench-run: timing vni_db_churn_hot ...");
+    let (churn, churn_workload) = bench_churn_hot(samples, churn_iters);
+    eprintln!("bench-run: timing store_txn_commit ...");
+    let store = bench_store_commit(samples, store_iters);
+
+    let mut benchmarks = vec![
+        bench_entry("vni_db_acquire_release", ar, samples, ar_iters),
+        bench_entry("vni_db_churn_hot", churn, samples, churn_iters),
+        bench_entry("store_txn_commit", store, samples, store_iters),
+    ];
+
+    let mut scenarios = Vec::new();
+    for name in ["churn", "steady-state"] {
+        eprintln!("bench-run: running scenario {name} ...");
+        let (events, wall_s) = run_scenario_timed(name);
+        scenarios.push(json!({
+            "name": name,
+            "events_executed": events,
+            "wall_ms": round1(wall_s * 1e3),
+            "events_per_sec": round1(events as f64 / wall_s),
+        }));
+    }
+
+    if let Some(path) = &opts.baseline {
+        let bench_base = baseline_map(path, "benchmarks", "median_ns_per_op");
+        fold_baseline(&mut benchmarks, &bench_base, "median_ns_per_op");
+        let scen_base = baseline_map(path, "scenarios", "events_per_sec");
+        fold_baseline(&mut scenarios, &scen_base, "events_per_sec");
+    }
+
+    let doc = json!({
+        "schema": "shs-bench/v1",
+        "label": opts.label,
+        "quick": opts.quick,
+        "benchmarks": benchmarks,
+        "scenarios": scenarios,
+        "allocator_counters": allocator_counters(churn_workload.db()),
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    println!("{text}");
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+            eprintln!("bench-run: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Allocator-level counters from the churn-hot database — how the
+/// allocations were satisfied (fresh VNIs vs post-quarantine reuse) and
+/// how much expiry work the index performed.
+fn allocator_counters(db: &VniDb) -> Value {
+    serde_json::to_value(db.counters()).expect("counters serialize")
+}

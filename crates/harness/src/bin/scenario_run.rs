@@ -7,16 +7,22 @@
 //!
 //! Runs each scenario's full job lifecycle (admission → CNI chain → VNI
 //! allocation → CXI service → fabric traffic → teardown) under the
-//! deterministic DES clock and prints one [`ScenarioReport`] per
-//! scenario as pretty JSON. For a fixed seed the output is
-//! byte-identical across runs. Exits non-zero if any scenario's
+//! deterministic DES clock and prints one JSON document: a `"reports"`
+//! array (one [`ScenarioReport`] per scenario) followed by a
+//! `"run_metrics"` block (wall-clock, DES events executed, events/sec,
+//! VNI database transactions). For a fixed seed the `"reports"` section
+//! is byte-identical across runs; wall-clock throughput lives **only**
+//! in `"run_metrics"`, after it, so determinism checks compare
+//! everything up to that key. Exits non-zero if any scenario's
 //! isolation assertions fail (cross-VNI delivery, quarantine violation,
 //! leaked service, stale grant, or misplacement).
 //!
 //! [`ScenarioReport`]: slingshot_k8s::ScenarioReport
 
 use std::path::PathBuf;
+use std::time::Instant;
 
+use shs_harness::{scenario_run_document, RunMetrics};
 use slingshot_k8s::{by_name, library, run_scenario, ScenarioReport};
 
 struct Opts {
@@ -78,6 +84,7 @@ fn main() {
         return;
     }
 
+    let started = Instant::now();
     let reports: Vec<ScenarioReport> = scenarios
         .iter()
         .map(|s| {
@@ -85,8 +92,10 @@ fn main() {
             run_scenario(s)
         })
         .collect();
+    let metrics = RunMetrics::from_reports(&reports, started.elapsed().as_secs_f64());
 
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+    let doc = scenario_run_document(&reports, &metrics);
+    let json = serde_json::to_string_pretty(&doc).expect("reports serialize");
     println!("{json}");
     if let Some(path) = &opts.out {
         if let Err(e) = std::fs::write(path, format!("{json}\n")) {

@@ -7,7 +7,9 @@
 //! * [`admission`] — the job-admission experiments (Figs. 9-12): ramp
 //!   and spike tests with and without the integration;
 //! * [`report`] — rendering into console tables, ASCII plots and CSVs;
-//! * [`output`] — sinks and plotting primitives.
+//! * [`output`] — sinks and plotting primitives;
+//! * [`runmeta`] — the run-level metrics block `scenario-run` appends
+//!   after its byte-deterministic reports section.
 //!
 //! The `repro` binary exposes each figure as a subcommand; EXPERIMENTS.md
 //! records paper-vs-measured for every one.
@@ -16,6 +18,7 @@ pub mod admission;
 pub mod comm;
 pub mod output;
 pub mod report;
+pub mod runmeta;
 pub mod table1;
 
 pub use admission::{
@@ -24,3 +27,4 @@ pub use admission::{
 };
 pub use comm::{run_comm, CommConfig, CommResult, Metric, ModeSamples};
 pub use output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};
+pub use runmeta::{scenario_run_document, RunMetrics};

@@ -1,0 +1,133 @@
+//! Run-level metrics appended to `scenario-run` output.
+//!
+//! The scenario reports themselves are **byte-deterministic** for a
+//! fixed seed; wall-clock throughput is not. This module keeps the two
+//! apart: [`scenario_run_document`] emits one JSON object whose
+//! `"reports"` key (the determinism-checked section) serializes first
+//! and whose `"run_metrics"` key — the only place wall-clock time and
+//! events/sec appear — serializes after it. Comparing two runs up to
+//! the `"run_metrics"` key is exactly the old whole-output comparison.
+
+use serde::Serialize;
+use serde_json::Value;
+use slingshot_k8s::ScenarioReport;
+
+/// Wall-clock metrics of one `scenario-run` invocation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunMetrics {
+    /// Total wall-clock across all scenarios, in milliseconds.
+    /// **Non-deterministic** — lives outside the checked section.
+    pub wall_clock_ms: f64,
+    /// DES events executed across all scenarios (deterministic).
+    pub des_events_executed: u64,
+    /// Events per wall-clock second (non-deterministic).
+    pub events_per_sec: f64,
+    /// ACID transactions the VNI databases committed (deterministic).
+    pub vni_txns: u64,
+}
+
+impl RunMetrics {
+    /// Fold per-scenario reports and a measured wall-clock into the
+    /// run-level metrics block.
+    pub fn from_reports(reports: &[ScenarioReport], wall_clock_secs: f64) -> Self {
+        let des_events_executed = reports.iter().map(|r| r.events_executed).sum();
+        let vni_txns = reports.iter().map(|r| r.vni.txn_count).sum();
+        let events_per_sec = if wall_clock_secs > 0.0 {
+            (des_events_executed as f64 / wall_clock_secs * 10.0).round() / 10.0
+        } else {
+            0.0
+        };
+        RunMetrics {
+            wall_clock_ms: (wall_clock_secs * 10_000.0).round() / 10.0,
+            des_events_executed,
+            events_per_sec,
+            vni_txns,
+        }
+    }
+}
+
+/// The full `scenario-run` output document: deterministic `"reports"`
+/// first, `"run_metrics"` after (JSON object keys serialize in BTree
+/// order, and `"reports"` < `"run_metrics"`).
+pub fn scenario_run_document(reports: &[ScenarioReport], metrics: &RunMetrics) -> Value {
+    serde_json::json!({
+        "reports": reports,
+        "run_metrics": metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shs_des::SimDur;
+    use slingshot_k8s::{run_scenario, JobPlan, Scenario, VniMode};
+
+    fn tiny_report() -> ScenarioReport {
+        let scenario = Scenario {
+            name: "meta-tiny".into(),
+            description: "one dedicated job".into(),
+            config: slingshot_k8s::ClusterConfig { seed: 5, ..Default::default() },
+            claims: vec![],
+            jobs: vec![JobPlan {
+                tenant: "t".into(),
+                name: "j".into(),
+                ranks: 1,
+                arrival: shs_des::SimTime::from_nanos(100_000_000),
+                run_ms: Some(200),
+                vni: VniMode::Dedicated,
+                delete_at: None,
+                traffic: None,
+            }],
+            faults: vec![],
+            horizon: shs_des::SimTime::from_nanos(3_000_000_000),
+            tick: SimDur::from_millis(20),
+        };
+        run_scenario(&scenario)
+    }
+
+    #[test]
+    fn metrics_fold_deterministic_fields_from_reports() {
+        let r = tiny_report();
+        let m = RunMetrics::from_reports(std::slice::from_ref(&r), 0.5);
+        assert_eq!(m.des_events_executed, r.events_executed);
+        assert_eq!(m.vni_txns, r.vni.txn_count);
+        assert!(m.vni_txns > 0, "the job's acquire/release committed transactions");
+        assert!((m.events_per_sec - r.events_executed as f64 / 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn reports_section_serializes_before_run_metrics() {
+        let r = tiny_report();
+        let m = RunMetrics::from_reports(std::slice::from_ref(&r), 0.25);
+        let doc = scenario_run_document(std::slice::from_ref(&r), &m);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let reports_at = text.find("\"reports\"").expect("reports key");
+        let metrics_at = text.find("\"run_metrics\"").expect("run_metrics key");
+        assert!(reports_at < metrics_at, "determinism-checked section must come first");
+        assert!(
+            text.find("\"wall_clock_ms\"").expect("wall clock") > metrics_at,
+            "wall-clock lives only inside run_metrics"
+        );
+    }
+
+    #[test]
+    fn determinism_checked_section_ignores_wall_clock() {
+        let r1 = tiny_report();
+        let r2 = tiny_report();
+        // Two runs with very different wall-clocks...
+        let d1 = scenario_run_document(
+            std::slice::from_ref(&r1),
+            &RunMetrics::from_reports(std::slice::from_ref(&r1), 0.1),
+        );
+        let d2 = scenario_run_document(
+            std::slice::from_ref(&r2),
+            &RunMetrics::from_reports(std::slice::from_ref(&r2), 9.9),
+        );
+        // ...agree byte-for-byte on the reports section.
+        assert_eq!(
+            serde_json::to_string_pretty(&d1["reports"]).unwrap(),
+            serde_json::to_string_pretty(&d2["reports"]).unwrap()
+        );
+        assert_ne!(d1["run_metrics"], d2["run_metrics"]);
+    }
+}

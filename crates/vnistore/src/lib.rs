@@ -19,9 +19,10 @@
 //! lost, no partial transaction is ever visible) is property-tested in
 //! `tests/acid.rs`.
 
+pub mod codec;
 pub mod disk;
 pub mod store;
 pub mod wal;
 
 pub use disk::SimDisk;
-pub use store::{Store, StoreConfig, StoreStats, Txn};
+pub use store::{OverlayScan, Store, StoreConfig, StoreStats, Txn};

@@ -38,6 +38,7 @@ use std::collections::BTreeMap;
 
 use shs_des::DetRng;
 
+use crate::codec::{push_bytes, read_bytes};
 use crate::disk::SimDisk;
 use crate::wal::{decode_all, encode, Record, RecordKind};
 
@@ -68,25 +69,6 @@ fn encode_ops(ops: &[Op]) -> Vec<u8> {
         }
     }
     out
-}
-
-fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
-    out.extend_from_slice(b);
-}
-
-fn read_bytes(buf: &[u8], off: &mut usize) -> Option<Vec<u8>> {
-    if buf.len() - *off < 4 {
-        return None;
-    }
-    let len = u32::from_le_bytes(buf[*off..*off + 4].try_into().ok()?) as usize;
-    *off += 4;
-    if buf.len() - *off < len {
-        return None;
-    }
-    let v = buf[*off..*off + len].to_vec();
-    *off += len;
-    Some(v)
 }
 
 fn decode_ops(payload: &[u8]) -> Vec<Op> {
@@ -305,18 +287,25 @@ pub struct Txn<'s> {
 }
 
 impl Txn<'_> {
-    /// Read-your-writes get.
+    /// Read-your-writes get, cloning the value. Prefer [`Txn::get_ref`]
+    /// on hot paths — allocation probes do not need an owned copy.
     pub fn get(&self, table: &str, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_ref(table, key).map(<[u8]>::to_vec)
+    }
+
+    /// Read-your-writes get without cloning: the returned slice borrows
+    /// either a staged write or the committed table.
+    pub fn get_ref(&self, table: &str, key: &[u8]) -> Option<&[u8]> {
         for op in self.ops.iter().rev() {
             match op {
                 Op::Put { table: t, key: k, value } if t == table && k == key => {
-                    return Some(value.clone())
+                    return Some(value)
                 }
                 Op::Delete { table: t, key: k } if t == table && k == key => return None,
                 _ => {}
             }
         }
-        self.store.get(table, key).map(|v| v.to_vec())
+        self.store.get(table, key)
     }
 
     /// Stage a put.
@@ -333,25 +322,34 @@ impl Txn<'_> {
         self.ops.push(Op::Delete { table: table.to_string(), key: key.to_vec() });
     }
 
-    /// Scan a table with staged writes overlaid, in key order.
-    pub fn scan(&self, table: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = self
-            .store
-            .scan(table)
-            .map(|(k, v)| (k.to_vec(), Some(v.to_vec())))
-            .collect();
+    /// Scan a table with staged writes overlaid, in key order. Borrows:
+    /// the committed table is merge-iterated against a sparse overlay of
+    /// this transaction's staged operations, so no row is cloned and no
+    /// full-table copy is materialized.
+    pub fn scan(&self, table: &str) -> OverlayScan<'_> {
+        let mut overlay: BTreeMap<&[u8], Option<&[u8]>> = BTreeMap::new();
         for op in &self.ops {
             match op {
                 Op::Put { table: t, key, value } if t == table => {
-                    merged.insert(key.clone(), Some(value.clone()));
+                    overlay.insert(key, Some(value));
                 }
                 Op::Delete { table: t, key } if t == table => {
-                    merged.insert(key.clone(), None);
+                    overlay.insert(key, None);
                 }
                 _ => {}
             }
         }
-        merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
+        OverlayScan {
+            base: self
+                .store
+                .tables
+                .get(table)
+                .map(|t| t.iter())
+                .into_iter()
+                .flatten()
+                .peekable(),
+            overlay: overlay.into_iter().peekable(),
+        }
     }
 
     /// Number of staged operations.
@@ -363,6 +361,51 @@ impl Txn<'_> {
     pub fn commit(self) -> u64 {
         let Txn { store, ops } = self;
         store.commit_ops(ops)
+    }
+}
+
+type BaseIter<'a> = std::iter::Peekable<
+    std::iter::Flatten<
+        std::option::IntoIter<std::collections::btree_map::Iter<'a, Vec<u8>, Vec<u8>>>,
+    >,
+>;
+type OverlayIter<'a> =
+    std::iter::Peekable<std::collections::btree_map::IntoIter<&'a [u8], Option<&'a [u8]>>>;
+
+/// Borrowing key-ordered merge of a committed table with a transaction's
+/// staged puts/deletes, returned by [`Txn::scan`]. A staged put shadows
+/// the committed row at the same key; a staged delete suppresses it.
+#[derive(Debug)]
+pub struct OverlayScan<'a> {
+    base: BaseIter<'a>,
+    overlay: OverlayIter<'a>,
+}
+
+impl<'a> Iterator for OverlayScan<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        use std::cmp::Ordering;
+        loop {
+            let order = match (self.base.peek(), self.overlay.peek()) {
+                (Some((bk, _)), Some((ok, _))) => bk.as_slice().cmp(ok),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => return None,
+            };
+            if order == Ordering::Equal {
+                self.base.next(); // shadowed by the staged op at this key
+            }
+            if order == Ordering::Less {
+                let (k, v) = self.base.next().expect("peeked");
+                return Some((k.as_slice(), v.as_slice()));
+            }
+            // Staged op wins the merge point; deletes yield nothing.
+            let (k, v) = self.overlay.next().expect("peeked");
+            if let Some(v) = v {
+                return Some((k, v));
+            }
+        }
     }
 }
 
@@ -420,11 +463,51 @@ mod tests {
         let mut t = s.begin();
         t.delete("t", b"a");
         t.put("t", b"c", b"3");
-        let rows = t.scan("t");
+        let rows: Vec<(&[u8], &[u8])> = t.scan("t").collect();
+        assert_eq!(rows, vec![(&b"b"[..], &b"2"[..]), (&b"c"[..], &b"3"[..])]);
+    }
+
+    #[test]
+    fn txn_scan_merge_covers_all_interleavings() {
+        // Staged keys before, between, equal-to and after committed keys,
+        // plus a staged delete of a missing key (must yield nothing).
+        let mut s = store();
+        let mut t = s.begin();
+        t.put("t", b"b", b"base-b");
+        t.put("t", b"d", b"base-d");
+        t.commit();
+        let mut t = s.begin();
+        t.put("t", b"a", b"new-a"); // before all committed keys
+        t.put("t", b"b", b"shadow-b"); // shadows a committed row
+        t.put("t", b"c", b"new-c"); // between committed keys
+        t.delete("t", b"d"); // deletes a committed row
+        t.delete("t", b"x"); // delete of a key that never existed
+        t.put("t", b"z", b"new-z"); // after all committed keys
+        let rows: Vec<(&[u8], &[u8])> = t.scan("t").collect();
         assert_eq!(
             rows,
-            vec![(b"b".to_vec(), b"2".to_vec()), (b"c".to_vec(), b"3".to_vec())]
+            vec![
+                (&b"a"[..], &b"new-a"[..]),
+                (&b"b"[..], &b"shadow-b"[..]),
+                (&b"c"[..], &b"new-c"[..]),
+                (&b"z"[..], &b"new-z"[..]),
+            ]
         );
+    }
+
+    #[test]
+    fn txn_get_ref_borrows_without_cloning() {
+        let mut s = store();
+        let mut t = s.begin();
+        t.put("t", b"k", b"committed");
+        t.commit();
+        let mut t = s.begin();
+        assert_eq!(t.get_ref("t", b"k"), Some(&b"committed"[..]));
+        t.put("t", b"k", b"staged");
+        assert_eq!(t.get_ref("t", b"k"), Some(&b"staged"[..]));
+        t.delete("t", b"k");
+        assert_eq!(t.get_ref("t", b"k"), None);
+        assert_eq!(t.get_ref("t", b"missing"), None);
     }
 
     #[test]
