@@ -12,7 +12,7 @@ use shs_des::{DetRng, SimTime};
 use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
 use shs_oslinux::{Gid, Host, NetNsId, Pid, Uid};
 use shs_vnistore::{Store, StoreConfig};
-use slingshot_k8s::{AcquireReleaseWorkload, ChurnHotWorkload};
+use slingshot_k8s::{AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload};
 
 fn bench_ep_alloc_auth(c: &mut Criterion) {
     // The §III-A member check: netns vs uid member types.
@@ -93,8 +93,8 @@ fn bench_fabric_transfer(c: &mut Criterion) {
         let mut fabric = Fabric::new(4);
         fabric.attach(NicAddr(1));
         fabric.attach(NicAddr(2));
-        fabric.grant_vni(NicAddr(1), Vni(1));
-        fabric.grant_vni(NicAddr(2), Vni(1));
+        fabric.grant_vni(NicAddr(1), Vni(1)).unwrap();
+        fabric.grant_vni(NicAddr(2), Vni(1)).unwrap();
         let mut now = SimTime::ZERO;
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -115,14 +115,24 @@ fn bench_fabric_transfer(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fabric_transfer_hot(c: &mut Criterion) {
+    // The multi-switch hot path (shared with `bench-run`): transfers
+    // across a 3-group × 2-switch dragonfly, cycling NIC pairs and
+    // traffic classes through routing + per-class trunk scheduling.
+    c.bench_function("fabric_transfer_hot", |b| {
+        let mut w = FabricTransferHotWorkload::new();
+        b.iter(|| black_box(w.step()))
+    });
+}
+
 fn bench_nic_send(c: &mut Criterion) {
     c.bench_function("nic_send_small", |b| {
         let mut fabric = Fabric::new(4);
         let mut nic = CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(2));
         fabric.attach(NicAddr(1));
         fabric.attach(NicAddr(2));
-        fabric.grant_vni(NicAddr(1), Vni(1));
-        fabric.grant_vni(NicAddr(2), Vni(1));
+        fabric.grant_vni(NicAddr(1), Vni(1)).unwrap();
+        fabric.grant_vni(NicAddr(2), Vni(1)).unwrap();
         nic.configure_service(shs_cassini::ServiceEntry {
             id: shs_cassini::SvcId(1),
             vnis: vec![Vni(1)],
@@ -177,7 +187,7 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_vni_db_churn_hot,
-              bench_store_commit, bench_fabric_transfer, bench_nic_send,
-              bench_netns_lookup, bench_switch_forward_denied
+              bench_store_commit, bench_fabric_transfer, bench_fabric_transfer_hot,
+              bench_nic_send, bench_netns_lookup, bench_switch_forward_denied
 }
 criterion_main!(micro);

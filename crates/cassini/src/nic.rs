@@ -167,6 +167,9 @@ pub struct NicCounters {
     pub tx_msgs: u64,
     /// Payload bytes issued.
     pub tx_bytes: u64,
+    /// Messages issued per traffic class (the class every packet is
+    /// tagged with on the wire), in [`TrafficClass::index`] order.
+    pub tx_by_class: [u64; 4],
     /// Messages delivered to endpoints.
     pub rx_msgs: u64,
     /// Payload bytes delivered.
@@ -393,6 +396,7 @@ impl CassiniNic {
 
         self.counters.tx_msgs += 1;
         self.counters.tx_bytes += len;
+        self.counters.tx_by_class[tc.index()] += 1;
 
         match fabric.transfer(issued, self.addr, dst, vni, tc, len, msg_id) {
             TransferOutcome::Delivered { arrival, src_done } => {
@@ -450,8 +454,8 @@ mod tests {
         let b = CassiniNic::new(NicAddr(2), CassiniParams::default(), rng.derive("b"));
         fabric.attach(a.addr);
         fabric.attach(b.addr);
-        fabric.grant_vni(a.addr, Vni(5));
-        fabric.grant_vni(b.addr, Vni(5));
+        fabric.grant_vni(a.addr, Vni(5)).unwrap();
+        fabric.grant_vni(b.addr, Vni(5)).unwrap();
         (fabric, a, b)
     }
 
@@ -549,6 +553,8 @@ mod tests {
         assert_eq!(got.len, 1024);
         assert_eq!(b.counters.rx_msgs, 1);
         assert_eq!(a.counters.tx_msgs, 1);
+        assert_eq!(a.counters.tx_by_class[TrafficClass::Dedicated.index()], 1);
+        assert_eq!(a.counters.tx_by_class[TrafficClass::BulkData.index()], 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use shs_cni::{BridgePlugin, CniArgs, PodRef};
 use shs_containers::{ContainerRuntime, Image, ImageStore, RuntimeError, RuntimeParams, UserNsMode};
 use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc};
 use shs_des::{DetRng, SimDur, SimTime};
-use shs_fabric::{Fabric, NicAddr, Vni};
+use shs_fabric::{CostModel, Fabric, NicAddr, RoutingPolicy, SwitchId, TopologySpec, Vni};
 use shs_k8s::{
     kinds, make_node, spec_of, status_of, ApiObject, ApiServer, CniAddOutcome, DecoratorConfig,
     JobController, JobSpec, Kubelet, KubeletParams, Metacontroller, NodeBackend, PodPhase,
@@ -53,6 +53,12 @@ pub struct ClusterConfig {
     /// resync so a job whose acquisition failed is retried once the
     /// quarantine window releases capacity.
     pub vni_resync: Option<SimDur>,
+    /// Fabric shape. `None` (the default) is the legacy single switch
+    /// with `nodes + 8` edge ports; a dragonfly spec places nodes onto
+    /// topology switches round-robin (node *i* on switch *i* mod
+    /// switches), so cross-switch and cross-group contention scenarios
+    /// can be expressed.
+    pub topology: Option<TopologySpec>,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +73,7 @@ impl Default for ClusterConfig {
             max_pods_per_node: 256,
             nic_params: CassiniParams::default(),
             vni_resync: None,
+            topology: None,
         }
     }
 }
@@ -259,13 +266,24 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let rng = DetRng::new(config.seed);
         let mut api = ApiServer::default();
-        let mut fabric = Fabric::new(config.nodes + 8);
+        let spec =
+            config.topology.unwrap_or_else(|| TopologySpec::single_switch(config.nodes + 8));
+        let mut fabric =
+            Fabric::with_topology(CostModel::default(), spec, RoutingPolicy::Minimal);
+        let switches = spec.total_switches();
+        assert!(
+            config.nodes <= switches * spec.edge_ports,
+            "topology too small: {} nodes over {} switches x {} edge ports",
+            config.nodes,
+            switches,
+            spec.edge_ports
+        );
         let mut nodes = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
             let name = format!("node{i}");
             let nic = NicAddr(i as u32 + 1);
-            fabric.attach(nic);
-            fabric.grant_vni(nic, Vni::GLOBAL);
+            fabric.attach_to(nic, SwitchId(i % switches));
+            fabric.grant_vni(nic, Vni::GLOBAL).expect("node NIC just attached");
             let host = Host::new(&name);
             let mut device = CxiDevice::new(
                 CxiDriver::extended(),
@@ -543,8 +561,7 @@ mod tests {
         assert_eq!(svc_count, 2, "one per pod, spread across nodes");
         // Switch grants realised on both ports.
         for n in &c.nodes {
-            let port = c.fabric.port_of(n.inner.nic).unwrap();
-            assert!(c.fabric.switch().has_vni(port, Vni(vni)));
+            assert!(c.fabric.nic_has_vni(n.inner.nic, Vni(vni)));
         }
         // Delete the job: everything unwinds (VNI released, services gone).
         c.delete_job("t", "secure");

@@ -273,8 +273,22 @@ impl NodeCniPlugin for CxiCniPlugin {
                 return Err((CniError::plugin(121, format!("CXI service creation: {e}")), cost))
             }
         };
-        // (5) Realise the VNI on the wire (fabric-manager grant).
-        ctx.fabric.grant_vni(ctx.nic, vni);
+        // (5) Realise the VNI on the wire (fabric-manager grant). An
+        // unknown NIC means the node is miswired — fail the ADD (undoing
+        // the service) rather than launching a pod with no network.
+        let NodeCniCtx { device, fabric, root, nic, .. } = ctx;
+        if let Err(e) = fabric.grant_vni(*nic, vni) {
+            // Undo exactly the service this ADD created (a label match
+            // could also sweep a healthy sibling left by a retried ADD).
+            cost += self.params.svc_destroy;
+            let msg = match device.driver.svc_destroy(root, svc, &mut device.nic) {
+                Ok(_) => format!("fabric VNI grant: {e}"),
+                Err(undo) => {
+                    format!("fabric VNI grant: {e}; service rollback also failed: {undo}")
+                }
+            };
+            return Err((CniError::plugin(123, msg), cost));
+        }
         self.adds += 1;
         prev.extensions.insert("cxi/vni".into(), serde_json::json!(vni.raw()));
         prev.extensions.insert("cxi/service".into(), serde_json::json!(svc.0));

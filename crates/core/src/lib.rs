@@ -40,11 +40,11 @@ pub use cluster::{alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, Po
 pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
 pub use endpoint::{EndpointCounters, EndpointHandle, EndpointRole, VniCrdSpec, VniEndpoint};
 pub use scenario::{
-    by_name, library, run_scenario, ClaimPlan, Fault, JobPlan, Scenario, ScenarioReport,
-    TrafficPlan, VniMode,
+    by_name, library, run_scenario, ClaimPlan, ClassTraffic, Fault, JobPlan, Scenario,
+    ScenarioReport, TrafficPattern, TrafficPlan, VniMode,
 };
 pub use vni_db::{
     AuditEntry, VniDb, VniDbConfig, VniDbCounters, VniDbError, VniDbStats, VniOwner, VniRow,
     VniState,
 };
-pub use workloads::{AcquireReleaseWorkload, ChurnHotWorkload};
+pub use workloads::{AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload};

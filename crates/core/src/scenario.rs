@@ -25,7 +25,9 @@
 //! The built-in [`library`] covers the cluster-scale situations the
 //! paper's design must survive: steady multi-tenant operation, a
 //! churn/teardown storm, quarantine pressure on a tiny VNI range, a
-//! node drain, and an oversubscribed VNI space. The `scenario-run`
+//! node drain, an oversubscribed VNI space, and — on a 2-group
+//! dragonfly fabric — a noisy-neighbour contention duel and an N→1
+//! incast with per-traffic-class drop accounting. The `scenario-run`
 //! binary in `shs-harness` executes them and emits the JSON
 //! [`ScenarioReport`]s; for one seed the report bytes are identical
 //! across runs.
@@ -34,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::Serialize;
 use shs_des::{Sim, SimDur, SimTime};
-use shs_fabric::{TrafficClass, TransferOutcome, Vni};
+use shs_fabric::{TopologySpec, TrafficClass, TransferOutcome, Vni};
 use shs_k8s::{kinds, spec_of, status_of, KubeletParams, PodSpec, PodStatus};
 
 use crate::cluster::{alpine, Cluster, ClusterConfig, PodHandle};
@@ -51,6 +53,17 @@ pub enum VniMode {
     Claim(String),
 }
 
+/// Shape of one traffic round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficPattern {
+    /// Every rank sends to its ring successor (`i → (i+1) mod n`).
+    #[default]
+    Ring,
+    /// Every rank but rank 0 sends to rank 0 — the N→1 congestion
+    /// pattern that backlogs the links converging on rank 0's switch.
+    Incast,
+}
+
 /// Rank-to-rank traffic a job generates once its pods run.
 #[derive(Debug, Clone, Copy)]
 pub struct TrafficPlan {
@@ -63,6 +76,11 @@ pub struct TrafficPlan {
     pub size: u64,
     /// Traffic class of the job's messages.
     pub tc: TrafficClass,
+    /// Messages each sender issues back-to-back per round (1 = the
+    /// classic one-message round).
+    pub burst: u32,
+    /// Communication pattern of a round.
+    pub pattern: TrafficPattern,
 }
 
 /// One job in a scenario.
@@ -164,6 +182,31 @@ pub struct JobsReport {
     pub outcomes: Vec<JobOutcome>,
 }
 
+/// Per-traffic-class slice of the fabric traffic, emitted for
+/// multi-switch topologies (single-switch scenarios have no trunk
+/// links, so the section is omitted and their reports are unchanged).
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct ClassTraffic {
+    /// Traffic-class name (`low-latency`, `dedicated`, `bulk-data`,
+    /// `best-effort`).
+    pub class: String,
+    /// Authorized sends on this class.
+    pub sends: u64,
+    /// Messages delivered end to end.
+    pub delivered: u64,
+    /// Authorized messages the fabric dropped (any reason).
+    pub dropped: u64,
+    /// Messages dropped by trunk congestion management, summed over
+    /// every inter-switch link (per-hop counters rolled up).
+    pub congestion_drops: u64,
+    /// Worst queueing delay accepted at any trunk link (ns).
+    pub trunk_queued_ns_max: u64,
+    /// Mean delivery latency (ns) over delivered messages.
+    pub mean_latency_ns: u64,
+    /// Worst delivery latency (ns).
+    pub max_latency_ns: u64,
+}
+
 /// Fabric traffic metrics (authorized rank-to-rank sends).
 #[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
 pub struct TrafficReport {
@@ -185,6 +228,10 @@ pub struct TrafficReport {
     pub max_latency_ns: u64,
     /// Delivered payload bytes.
     pub payload_bytes: u64,
+    /// Per-traffic-class counters, active classes only; present only on
+    /// multi-switch topologies.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub by_class: Vec<ClassTraffic>,
 }
 
 /// VNI Service metrics (from the endpoint counters and the database).
@@ -293,6 +340,16 @@ struct JobTrack {
     rounds_done: u32,
 }
 
+/// Per-class slice of the raw counters, in `TrafficClass::index` order.
+#[derive(Default, Clone, Copy)]
+struct ClassAgg {
+    sends: u64,
+    delivered: u64,
+    dropped: u64,
+    lat_sum_ns: u64,
+    lat_max_ns: u64,
+}
+
 #[derive(Default)]
 struct Raw {
     rounds: u64,
@@ -307,6 +364,7 @@ struct Raw {
     cross_attempts: u64,
     cross_denied: u64,
     cross_deliveries: u64,
+    class: [ClassAgg; 4],
 }
 
 struct World {
@@ -382,6 +440,8 @@ fn send_authorized(
         return;
     }
     w.m.authorized_sends += 1;
+    let agg = &mut w.m.class[tc.index()];
+    agg.sends += 1;
     let src_nic = sn.inner.nic;
     let dst_nic = nodes[dst.node_idx].inner.nic;
     match fabric.transfer(now, src_nic, dst_nic, vni, tc, size, id) {
@@ -391,8 +451,15 @@ fn send_authorized(
             let lat = (arrival - now).as_nanos();
             w.m.lat_sum_ns += lat;
             w.m.lat_max_ns = w.m.lat_max_ns.max(lat);
+            let agg = &mut w.m.class[tc.index()];
+            agg.delivered += 1;
+            agg.lat_sum_ns += lat;
+            agg.lat_max_ns = agg.lat_max_ns.max(lat);
         }
-        TransferOutcome::Dropped(_) => w.m.dropped += 1,
+        TransferOutcome::Dropped(_) => {
+            w.m.dropped += 1;
+            w.m.class[tc.index()].dropped += 1;
+        }
     }
 }
 
@@ -453,9 +520,24 @@ fn traffic_round(sim: &mut Sim<World>, ji: usize) {
             (true, Some(vni)) => {
                 w.m.rounds += 1;
                 if handles.len() >= 2 {
-                    for i in 0..handles.len() {
-                        let dst = handles[(i + 1) % handles.len()];
-                        send_authorized(w, now, handles[i], dst, vni, tp.size, tp.tc);
+                    match tp.pattern {
+                        TrafficPattern::Ring => {
+                            for i in 0..handles.len() {
+                                let dst = handles[(i + 1) % handles.len()];
+                                for _ in 0..tp.burst.max(1) {
+                                    send_authorized(w, now, handles[i], dst, vni, tp.size, tp.tc);
+                                }
+                            }
+                        }
+                        TrafficPattern::Incast => {
+                            for i in 1..handles.len() {
+                                for _ in 0..tp.burst.max(1) {
+                                    send_authorized(
+                                        w, now, handles[i], handles[0], vni, tp.size, tp.tc,
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
                 if let Some(foreign) = pick_foreign(w, ji, vni) {
@@ -618,8 +700,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
     for row in rows_at_horizon {
         let vni = Vni(row.vni);
         for node in &w.cluster.nodes {
-            let port = w.cluster.fabric.port_of(node.inner.nic).expect("attached");
-            if !w.cluster.fabric.switch().has_vni(port, vni) {
+            if !w.cluster.fabric.nic_has_vni(node.inner.nic, vni) {
                 continue;
             }
             let justified = row.state == crate::vni_db::VniState::Allocated
@@ -690,6 +771,35 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         acc
     });
 
+    // Per-class traffic slice: only multi-switch topologies have trunk
+    // links (and thus per-hop class counters); single-switch scenarios
+    // omit the section so their reports stay byte-identical.
+    let by_class = if w.cluster.fabric.topology().switch_count() > 1 {
+        let trunk_totals = w.cluster.fabric.trunk_class_totals();
+        TrafficClass::ALL
+            .iter()
+            .filter_map(|&tc| {
+                let agg = &w.m.class[tc.index()];
+                let trunk = &trunk_totals[tc.index()];
+                if agg.sends == 0 && trunk.congestion_drops == 0 {
+                    return None;
+                }
+                Some(ClassTraffic {
+                    class: tc.to_string(),
+                    sends: agg.sends,
+                    delivered: agg.delivered,
+                    dropped: agg.dropped,
+                    congestion_drops: trunk.congestion_drops,
+                    trunk_queued_ns_max: trunk.queued_ns_max,
+                    mean_latency_ns: agg.lat_sum_ns.checked_div(agg.delivered).unwrap_or(0),
+                    max_latency_ns: agg.lat_max_ns,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let traffic_expected =
         scenario.jobs.iter().any(|j| j.traffic.is_some() && j.ranks >= 2);
     let mut report = ScenarioReport {
@@ -716,6 +826,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             mean_latency_ns: w.m.lat_sum_ns.checked_div(w.m.delivered).unwrap_or(0),
             max_latency_ns: w.m.lat_max_ns,
             payload_bytes: w.m.payload_bytes,
+            by_class,
         },
         vni: VniReport {
             acquisitions: counters.acquisitions,
@@ -761,7 +872,16 @@ fn std_traffic() -> TrafficPlan {
         interval: SimDur::from_millis(1_000),
         size: 4096,
         tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Ring,
     }
+}
+
+/// The 2-group dragonfly the contention scenarios run on: one switch
+/// per group, nodes round-robined across groups, so rank-to-rank rings
+/// and incasts must cross the single global link.
+fn two_group_topology() -> TopologySpec {
+    TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 8 }
 }
 
 /// Three tenants with dedicated VNIs, a shared claim, and a baseline
@@ -929,6 +1049,101 @@ pub fn oversubscribed(seed: u64) -> Scenario {
     }
 }
 
+/// A bulk-data tenant and a latency-sensitive tenant contending for the
+/// same group link of a 2-group dragonfly: per-traffic-class trunk
+/// scheduling must keep the victim's slowdown bounded while the noisy
+/// neighbour's burst drains (and may be clipped by congestion
+/// management).
+pub fn noisy_neighbor(seed: u64) -> Scenario {
+    // 4 ranks, one per node: the ring has two bulk flows per trunk
+    // direction, so the group link actually backlogs (one sender alone
+    // is already serialized by its own uplink).
+    let mut noisy = job("noisy", "bulk", 4, 500, VniMode::Dedicated);
+    noisy.delete_at = Some(ms(30_000));
+    noisy.traffic = Some(TrafficPlan {
+        rounds: 12,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 20,
+        tc: TrafficClass::BulkData,
+        burst: 8,
+        pattern: TrafficPattern::Ring,
+    });
+    let mut victim = job("victim", "latency", 2, 1_000, VniMode::Dedicated);
+    victim.delete_at = Some(ms(30_000));
+    victim.traffic = Some(TrafficPlan {
+        rounds: 24,
+        interval: SimDur::from_millis(500),
+        size: 64,
+        tc: TrafficClass::LowLatency,
+        burst: 1,
+        pattern: TrafficPattern::Ring,
+    });
+    Scenario {
+        name: "noisy-neighbor".into(),
+        description: "bulk tenant vs latency tenant across a group link; per-class trunk \
+                      scheduling must bound the victim's slowdown"
+            .into(),
+        // 6 nodes, 3 per group: the bulk tenant occupies 4, the victim
+        // gets the two idle ones (one per group), so the tenants share
+        // *only* the group link — the resource traffic classes arbitrate.
+        config: ClusterConfig {
+            seed,
+            nodes: 6,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![noisy, victim],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// N→1 congestion: three ranks incast large bulk messages into rank 0
+/// across the group link while a light low-latency pair shares the same
+/// trunk; congestion management must clip the incast (per-class drop
+/// accounting) without touching the low-latency class.
+pub fn incast(seed: u64) -> Scenario {
+    let mut sink = job("sink", "fanin", 4, 500, VniMode::Dedicated);
+    sink.delete_at = Some(ms(30_000));
+    sink.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 21,
+        tc: TrafficClass::BulkData,
+        burst: 4,
+        pattern: TrafficPattern::Incast,
+    });
+    let mut probe = job("probe", "probe", 2, 1_000, VniMode::Dedicated);
+    probe.delete_at = Some(ms(30_000));
+    probe.traffic = Some(TrafficPlan {
+        rounds: 20,
+        interval: SimDur::from_millis(500),
+        size: 64,
+        tc: TrafficClass::LowLatency,
+        burst: 1,
+        pattern: TrafficPattern::Ring,
+    });
+    Scenario {
+        name: "incast".into(),
+        description: "3→1 bulk incast across the group link; finite per-class trunk queues \
+                      drop the overflow, counted per class, sparing low-latency probes"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 4,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![sink, probe],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
 /// The named scenario library executed by `scenario-run`.
 pub fn library(seed: u64) -> Vec<Scenario> {
     vec![
@@ -937,6 +1152,8 @@ pub fn library(seed: u64) -> Vec<Scenario> {
         quarantine_pressure(seed),
         node_drain(seed),
         oversubscribed(seed),
+        noisy_neighbor(seed),
+        incast(seed),
     ]
 }
 
@@ -957,6 +1174,8 @@ mod tests {
             interval: SimDur::from_millis(500),
             size: 1024,
             tc: TrafficClass::Dedicated,
+            burst: 1,
+            pattern: TrafficPattern::Ring,
         });
         let mut b = job("t1", "b", 2, 800, VniMode::Dedicated);
         b.delete_at = Some(ms(6_000));
@@ -965,6 +1184,8 @@ mod tests {
             interval: SimDur::from_millis(500),
             size: 1024,
             tc: TrafficClass::Dedicated,
+            burst: 1,
+            pattern: TrafficPattern::Ring,
         });
         Scenario {
             name: "tiny".into(),
@@ -1003,13 +1224,15 @@ mod tests {
     }
 
     #[test]
-    fn library_has_five_distinct_scenarios() {
+    fn library_has_seven_distinct_scenarios() {
         let lib = library(1);
-        assert_eq!(lib.len(), 5);
+        assert_eq!(lib.len(), 7);
         let names: std::collections::BTreeSet<_> =
             lib.iter().map(|s| s.name.clone()).collect();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 7);
         assert!(by_name("churn", 1).is_some());
+        assert!(by_name("noisy-neighbor", 1).is_some());
+        assert!(by_name("incast", 1).is_some());
         assert!(by_name("nope", 1).is_none());
     }
 }

@@ -1,15 +1,20 @@
-//! Canonical VNI-database workloads, shared by the Criterion `micro`
-//! bench targets (`shs-bench`) and the `bench-run` trajectory binary
-//! (`shs-harness`). One definition of each workload means the two
-//! harnesses always time **the same thing** — tune a prefill count or
-//! clock step here and both pick it up, keeping cross-PR comparisons in
-//! `results/BENCH_pr<N>.json` like-for-like.
+//! Canonical benchmark workloads (VNI database and fabric), shared by
+//! the Criterion `micro` bench targets (`shs-bench`) and the
+//! `bench-run` trajectory binary (`shs-harness`). One definition of
+//! each workload means the two harnesses always time **the same
+//! thing** — tune a prefill count or clock step here and both pick it
+//! up, keeping cross-PR comparisons in `results/BENCH_pr<N>.json`
+//! like-for-like.
 //!
-//! Both workloads run at the default range width (3072, §III-C1's
-//! VNI space minus the reserved global VNI).
+//! The two VNI-database workloads run at the default range width
+//! (3072, §III-C1's VNI space minus the reserved global VNI); the
+//! fabric workload runs on a 3-group dragonfly topology.
 
 use shs_des::{SimDur, SimTime};
-use shs_fabric::Vni;
+use shs_fabric::{
+    CostModel, Fabric, NicAddr, RoutingPolicy, SwitchId, TopologySpec, TrafficClass,
+    TransferOutcome, Vni,
+};
 
 use crate::vni_db::{VniDb, VniDbConfig, VniOwner};
 
@@ -110,6 +115,71 @@ impl Default for ChurnHotWorkload {
     }
 }
 
+/// The multi-switch fabric hot path: message transfers across a 3-group
+/// × 2-switch dragonfly (12 NICs, one shared VNI), cycling sources,
+/// destinations and traffic classes so every step exercises routing,
+/// edge-link reservation and the per-class trunk scheduler. The clock
+/// advances a fixed 2 µs per step, keeping link backlogs bounded and the
+/// step cost flat over any sample budget.
+#[derive(Debug)]
+pub struct FabricTransferHotWorkload {
+    fabric: Fabric,
+    now: SimTime,
+    i: u64,
+}
+
+impl FabricTransferHotWorkload {
+    /// NICs attached round-robin across the six switches.
+    pub const NICS: u32 = 12;
+
+    /// Payload bytes per transfer (two MTUs).
+    pub const SIZE: u64 = 4096;
+
+    /// Fresh fabric with every NIC granted the measurement VNI.
+    pub fn new() -> Self {
+        let spec = TopologySpec { groups: 3, switches_per_group: 2, edge_ports: 4 };
+        let mut fabric =
+            Fabric::with_topology(CostModel::default(), spec, RoutingPolicy::Minimal);
+        let switches = spec.total_switches();
+        for i in 0..Self::NICS {
+            let nic = NicAddr(i + 1);
+            fabric.attach_to(nic, SwitchId(i as usize % switches));
+            fabric.grant_vni(nic, Vni(7)).expect("just attached");
+        }
+        FabricTransferHotWorkload { fabric, now: SimTime::ZERO, i: 0 }
+    }
+
+    /// One transfer between a deterministically cycling NIC pair.
+    pub fn step(&mut self) -> TransferOutcome {
+        let n = Self::NICS as u64;
+        let src = self.i % n;
+        let dst = (src + 1 + (self.i * 5) % (n - 1)) % n;
+        let tc = TrafficClass::ALL[(self.i % 4) as usize];
+        self.now += SimDur::from_micros(2);
+        self.i += 1;
+        self.fabric.transfer(
+            self.now,
+            NicAddr(src as u32 + 1),
+            NicAddr(dst as u32 + 1),
+            Vni(7),
+            tc,
+            Self::SIZE,
+            self.i,
+        )
+    }
+
+    /// The fabric under measurement (counter inspection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+impl Default for FabricTransferHotWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +206,31 @@ mod tests {
             w.step(); // finish the first epoch: all 3072 VNIs quarantined
         }
         assert_eq!(w.step(), first, "fresh epoch restarts at the range base");
+    }
+
+    #[test]
+    fn fabric_transfer_hot_delivers_and_spans_switches() {
+        let mut w = FabricTransferHotWorkload::new();
+        let mut delivered = 0;
+        for _ in 0..200 {
+            if matches!(w.step(), TransferOutcome::Delivered { .. }) {
+                delivered += 1;
+            }
+        }
+        assert!(delivered > 150, "the hot loop mostly delivers: {delivered}/200");
+        let t = w.fabric().traffic(Vni(7));
+        assert!(
+            t.switch_hops > t.messages,
+            "pairs must cross switches ({} hops / {} msgs)",
+            t.switch_hops,
+            t.messages
+        );
+        // Deterministic: a fresh workload replays the same outcomes.
+        let mut w2 = FabricTransferHotWorkload::new();
+        for _ in 0..200 {
+            w2.step();
+        }
+        assert_eq!(w2.fabric().traffic(Vni(7)).messages, t.messages);
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn rig() -> (Rig, CniArgs) {
     let nic = NicAddr(1);
     let mut fabric = Fabric::new(4);
     fabric.attach(nic);
-    fabric.grant_vni(nic, Vni::GLOBAL);
+    fabric.grant_vni(nic, Vni::GLOBAL).unwrap();
     let device = CxiDevice::new(
         CxiDriver::extended(),
         CassiniNic::new(nic, CassiniParams::default(), DetRng::new(3)),
@@ -130,8 +130,7 @@ impl Rig {
     }
 
     fn has_grant(&self, vni: u16) -> bool {
-        let port = self.fabric.port_of(self.nic).expect("attached");
-        self.fabric.switch().has_vni(port, Vni(vni))
+        self.fabric.nic_has_vni(self.nic, Vni(vni))
     }
 }
 

@@ -46,8 +46,8 @@ fn four_node_cluster_spreads_and_isolates() {
     // Every node's switch port carries every tenant VNI (each tenant has
     // a pod on each node) — 4 tenant grants + the global VNI.
     for n in &c.nodes {
-        let port = c.fabric.port_of(n.inner.nic).unwrap();
-        let grants: Vec<Vni> = c.fabric.switch().vnis_on(port).collect();
+        let (sw, port) = c.fabric.attachment(n.inner.nic).unwrap();
+        let grants: Vec<Vni> = c.fabric.switch_at(sw).vnis_on(port).collect();
         assert_eq!(grants.len(), 5, "node {} grants: {grants:?}", n.inner.name);
     }
 }

@@ -1,22 +1,58 @@
-//! The fabric engine: topology (NICs attached to switch ports over
-//! 200 Gbps links) plus the timing model for message- and packet-level
-//! delivery, with busy-until link reservation for queueing effects.
+//! The fabric engine: a dragonfly [`Topology`] of switches (NICs on
+//! edge ports, local links within a group, global links between
+//! groups), the cut-through timing model for message delivery, and the
+//! per-link occupancy that produces queueing effects.
+//!
+//! Edge (NIC↔switch) links keep the original scalar busy-until
+//! semantics, so a 1-group × 1-switch topology is byte-for-byte the
+//! legacy single-switch fabric. Inter-switch (*trunk*) links add what
+//! the paper's multi-tenant story needs: **per-traffic-class weighted
+//! scheduling** (the message-level counterpart of the packet-level
+//! [`crate::switch::WrrArbiter`], modeled as weighted processor
+//! sharing over the four classes) and **finite per-class queues** whose
+//! overflow is a congestion drop, counted per hop, per class, and per
+//! tenant VNI.
 
 use std::collections::BTreeMap;
 
 use shs_des::{SimDur, SimTime};
 
 use crate::packet::{CostModel, Packet};
-use crate::switch::{DropReason, Switch, SwitchConfig, Verdict};
-use crate::types::{NicAddr, PortId, TrafficClass, Vni};
+use crate::switch::{DropReason, Switch, SwitchConfig};
+use crate::topology::{RoutingPolicy, Topology, TopologySpec};
+use crate::types::{NicAddr, PortId, SwitchId, TrafficClass, Vni};
 
-/// Per-port link occupancy (full duplex: separate up/down directions).
+/// Per-port edge-link occupancy (full duplex: separate up/down
+/// directions), with the legacy scalar busy-until semantics.
 #[derive(Debug, Clone, Copy, Default)]
 struct LinkState {
     /// Node→switch direction busy until this instant.
     up_busy: SimTime,
     /// Switch→node direction busy until this instant.
     down_busy: SimTime,
+}
+
+/// Per-traffic-class counters of one directed trunk link (or, via
+/// [`Fabric::trunk_class_totals`], of all of them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrunkClassCounters {
+    /// Messages that traversed the link on this class.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub payload_bytes: u64,
+    /// Messages dropped because the class queue exceeded the cost
+    /// model's `trunk_queue_ns` bound.
+    pub congestion_drops: u64,
+    /// Worst queueing delay a message of this class accepted (ns).
+    pub queued_ns_max: u64,
+}
+
+/// One directed inter-switch link: per-class busy horizons (the
+/// weighted-sharing state) plus per-class counters.
+#[derive(Debug, Clone, Default)]
+struct TrunkState {
+    cls_busy: [SimTime; 4],
+    counters: [TrunkClassCounters; 4],
 }
 
 /// Outcome of a message-level transfer.
@@ -30,46 +66,131 @@ pub enum TransferOutcome {
         /// this is when the sender's local RDMA completion can fire.
         src_done: SimTime,
     },
-    /// Silently dropped in the fabric (VNI enforcement, routing, ...).
+    /// Silently dropped in the fabric (VNI enforcement, routing,
+    /// congestion management, ...).
     Dropped(DropReason),
 }
 
 /// Fabric-level traffic accounting, keyed by VNI (the granularity the
-/// fabric manager exposes to monitoring).
+/// fabric manager exposes to monitoring). Per-hop congestion and drop
+/// counters roll up here per tenant.
 #[derive(Debug, Clone, Default)]
 pub struct VniTraffic {
     /// Delivered messages.
     pub messages: u64,
     /// Delivered payload bytes.
     pub payload_bytes: u64,
+    /// Messages dropped by trunk congestion management.
+    pub congestion_drops: u64,
+    /// Total switch hops of delivered messages (1 per message on a
+    /// single-switch fabric).
+    pub switch_hops: u64,
+    /// Delivered messages per traffic class, in
+    /// [`TrafficClass::index`] order.
+    pub class_messages: [u64; 4],
 }
 
-/// Single-switch Slingshot fabric.
+/// Errors surfaced by fabric-manager operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// The NIC is not attached to any switch port.
+    UnknownNic(NicAddr),
+}
+
+impl core::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FabricError::UnknownNic(nic) => write!(f, "{nic} is not attached to the fabric"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Anomalous fabric-manager operations, recorded for the audit trail
+/// (a revoke that cannot have removed anything is either a cleanup bug
+/// or an operator racing node removal — either way worth a log line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricAuditEvent {
+    /// A revoke named a NIC that is not attached anywhere.
+    RevokeUnknownNic {
+        /// The unknown NIC.
+        nic: NicAddr,
+        /// The VNI named by the revoke.
+        vni: Vni,
+    },
+    /// A revoke named a VNI that was never granted (or already revoked)
+    /// on the NIC's port.
+    RevokeNeverGranted {
+        /// The attached NIC.
+        nic: NicAddr,
+        /// The VNI that held no grant.
+        vni: Vni,
+    },
+}
+
+/// The Slingshot fabric: topology, switches, links, timing.
 #[derive(Debug)]
 pub struct Fabric {
     model: CostModel,
-    switch: Switch,
-    links: BTreeMap<PortId, LinkState>,
-    ports_of: BTreeMap<NicAddr, PortId>,
-    next_port: usize,
+    topo: Topology,
+    switches: Vec<Switch>,
+    /// Edge-link occupancy per (switch, edge port).
+    links: BTreeMap<(usize, usize), LinkState>,
+    /// Directed trunk-link state, keyed by (from switch, to switch).
+    trunks: BTreeMap<(usize, usize), TrunkState>,
+    ports_of: BTreeMap<NicAddr, (usize, PortId)>,
+    /// Next never-used edge port per switch.
+    next_port: Vec<usize>,
+    /// Edge ports freed by [`Fabric::detach`], reused LIFO per switch.
+    free_ports: Vec<Vec<usize>>,
     traffic: BTreeMap<Vni, VniTraffic>,
+    audit: Vec<FabricAuditEvent>,
 }
 
 impl Fabric {
-    /// Build a fabric with default cost model and switch configuration.
+    /// Build a single-switch fabric with default cost model and switch
+    /// configuration (the legacy constructor).
     pub fn new(ports: usize) -> Self {
         Fabric::with_config(CostModel::default(), SwitchConfig { ports, ..Default::default() })
     }
 
-    /// Build a fabric with explicit cost model and switch configuration.
+    /// Build a single-switch fabric with explicit cost model and switch
+    /// configuration.
     pub fn with_config(model: CostModel, switch_config: SwitchConfig) -> Self {
+        Fabric::build(
+            model,
+            Topology::new(TopologySpec::single_switch(switch_config.ports), RoutingPolicy::Minimal),
+            switch_config,
+        )
+    }
+
+    /// Build a multi-switch fabric over a dragonfly topology with the
+    /// default switch configuration (VNI enforcement + source checks on).
+    pub fn with_topology(model: CostModel, spec: TopologySpec, policy: RoutingPolicy) -> Self {
+        let switch_config = SwitchConfig { ports: spec.edge_ports, ..Default::default() };
+        Fabric::build(model, Topology::new(spec, policy), switch_config)
+    }
+
+    fn build(model: CostModel, topo: Topology, switch_config: SwitchConfig) -> Self {
+        let n = topo.switch_count();
+        let switches = (0..n).map(|_| Switch::new(switch_config.clone())).collect();
+        let trunks = topo
+            .trunk_links()
+            .iter()
+            .map(|&(a, b)| ((a.0, b.0), TrunkState::default()))
+            .collect();
         Fabric {
             model,
-            switch: Switch::new(switch_config),
+            topo,
+            switches,
             links: BTreeMap::new(),
+            trunks,
             ports_of: BTreeMap::new(),
-            next_port: 0,
+            next_port: vec![0; n],
+            free_ports: vec![Vec::new(); n],
             traffic: BTreeMap::new(),
+            audit: Vec::new(),
         }
     }
 
@@ -78,54 +199,122 @@ impl Fabric {
         &self.model
     }
 
-    /// Access the switch (counters, configuration).
+    /// The topology in force.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Access the first switch — the only one in single-switch fabrics
+    /// (kept for the legacy monitoring surface; multi-switch callers use
+    /// [`Fabric::switch_at`]).
     pub fn switch(&self) -> &Switch {
-        &self.switch
+        &self.switches[0]
     }
 
-    /// Mutable access to the switch (fabric-manager operations).
+    /// Mutable access to the first switch (fabric-manager operations on
+    /// single-switch fabrics).
     pub fn switch_mut(&mut self) -> &mut Switch {
-        &mut self.switch
+        &mut self.switches[0]
     }
 
-    /// Attach a NIC to the next free port. Panics if the switch is full
-    /// or the NIC is already attached (both are wiring bugs).
+    /// Access one switch of the topology.
+    pub fn switch_at(&self, sw: SwitchId) -> &Switch {
+        &self.switches[sw.0]
+    }
+
+    /// All switches, in id order.
+    pub fn switches(&self) -> impl Iterator<Item = &Switch> {
+        self.switches.iter()
+    }
+
+    /// Anomalous fabric-manager operations recorded so far.
+    pub fn audit(&self) -> &[FabricAuditEvent] {
+        &self.audit
+    }
+
+    /// Attach a NIC to the next free edge port of switch 0 (the legacy
+    /// single-switch call). Panics if the switch is full or the NIC is
+    /// already attached (both are wiring bugs).
     pub fn attach(&mut self, nic: NicAddr) -> PortId {
+        self.attach_to(nic, SwitchId(0))
+    }
+
+    /// Attach a NIC to the next free edge port of `sw` (ports freed by
+    /// [`Fabric::detach`] are reused first). Panics if the switch is
+    /// full or the NIC is already attached.
+    pub fn attach_to(&mut self, nic: NicAddr, sw: SwitchId) -> PortId {
         assert!(
             !self.ports_of.contains_key(&nic),
             "{nic} attached twice"
         );
-        let port = PortId(self.next_port);
-        self.next_port += 1;
-        assert!(self.switch.bind(port, nic), "port {port} already bound");
-        self.links.insert(port, LinkState::default());
-        self.ports_of.insert(nic, port);
+        let port = match self.free_ports[sw.0].pop() {
+            Some(freed) => PortId(freed),
+            None => {
+                let p = PortId(self.next_port[sw.0]);
+                self.next_port[sw.0] += 1;
+                p
+            }
+        };
+        assert!(self.switches[sw.0].bind(port, nic), "{sw} {port} already bound");
+        self.links.insert((sw.0, port.0), LinkState::default());
+        self.ports_of.insert(nic, (sw.0, port));
         port
     }
 
-    /// Port a NIC is attached to.
+    /// Detach a NIC (node removal): unbind its edge port, drop its VNI
+    /// grants, and forget the attachment and link state. Returns whether
+    /// the NIC was attached. The freed port is reused by later attaches.
+    pub fn detach(&mut self, nic: NicAddr) -> bool {
+        let Some((sw, port)) = self.ports_of.remove(&nic) else {
+            return false;
+        };
+        self.switches[sw].unbind(port);
+        self.links.remove(&(sw, port.0));
+        self.free_ports[sw].push(port.0);
+        true
+    }
+
+    /// Edge port a NIC is attached to (on its switch).
     pub fn port_of(&self, nic: NicAddr) -> Option<PortId> {
-        self.ports_of.get(&nic).copied()
+        self.ports_of.get(&nic).map(|&(_, p)| p)
     }
 
-    /// Grant `vni` on the port of `nic` (fabric-manager operation invoked
-    /// when a virtual network is realised on the wire).
-    pub fn grant_vni(&mut self, nic: NicAddr, vni: Vni) -> bool {
-        match self.port_of(nic) {
-            Some(p) => {
-                self.switch.grant_vni(p, vni);
-                true
-            }
-            None => false,
-        }
+    /// Full attachment point of a NIC: (switch, edge port).
+    pub fn attachment(&self, nic: NicAddr) -> Option<(SwitchId, PortId)> {
+        self.ports_of.get(&nic).map(|&(s, p)| (SwitchId(s), p))
     }
 
-    /// Revoke `vni` from the port of `nic`.
+    /// Grant `vni` on the edge port of `nic` (fabric-manager operation
+    /// invoked when a virtual network is realised on the wire). Granting
+    /// on a NIC the fabric does not know is a wiring or orchestration
+    /// bug and is an explicit error.
+    pub fn grant_vni(&mut self, nic: NicAddr, vni: Vni) -> Result<PortId, FabricError> {
+        let &(sw, port) = self.ports_of.get(&nic).ok_or(FabricError::UnknownNic(nic))?;
+        self.switches[sw].grant_vni(port, vni);
+        Ok(port)
+    }
+
+    /// Revoke `vni` from the edge port of `nic`. Returns whether a grant
+    /// was actually removed; revokes that cannot have removed anything
+    /// (unknown NIC, never-granted VNI) are recorded in the fabric
+    /// [`audit`](Fabric::audit) log.
     pub fn revoke_vni(&mut self, nic: NicAddr, vni: Vni) -> bool {
-        match self.port_of(nic) {
-            Some(p) => self.switch.revoke_vni(p, vni),
-            None => false,
+        let Some(&(sw, port)) = self.ports_of.get(&nic) else {
+            self.audit.push(FabricAuditEvent::RevokeUnknownNic { nic, vni });
+            return false;
+        };
+        let removed = self.switches[sw].revoke_vni(port, vni);
+        if !removed {
+            self.audit.push(FabricAuditEvent::RevokeNeverGranted { nic, vni });
         }
+        removed
+    }
+
+    /// Whether the edge port of `nic` currently holds a grant for `vni`.
+    pub fn nic_has_vni(&self, nic: NicAddr, vni: Vni) -> bool {
+        self.ports_of
+            .get(&nic)
+            .is_some_and(|&(sw, port)| self.switches[sw].has_vni(port, vni))
     }
 
     /// Per-VNI delivered-traffic counters.
@@ -133,10 +322,31 @@ impl Fabric {
         self.traffic.get(&vni).cloned().unwrap_or_default()
     }
 
-    /// Message-level transfer: reserves the source uplink and destination
-    /// downlink, runs the switch's forwarding decision, and returns the
-    /// arrival time of the last byte (cut-through pipelining: end-to-end
-    /// time ≈ one serialization of the message plus constant hop costs).
+    /// Per-class counters of one directed trunk link, if it exists.
+    pub fn trunk_counters(&self, from: SwitchId, to: SwitchId) -> Option<&[TrunkClassCounters; 4]> {
+        self.trunks.get(&(from.0, to.0)).map(|t| &t.counters)
+    }
+
+    /// Per-class counters summed over every directed trunk link, in
+    /// [`TrafficClass::index`] order.
+    pub fn trunk_class_totals(&self) -> [TrunkClassCounters; 4] {
+        let mut out = [TrunkClassCounters::default(); 4];
+        for trunk in self.trunks.values() {
+            for (acc, c) in out.iter_mut().zip(trunk.counters.iter()) {
+                acc.messages += c.messages;
+                acc.payload_bytes += c.payload_bytes;
+                acc.congestion_drops += c.congestion_drops;
+                acc.queued_ns_max = acc.queued_ns_max.max(c.queued_ns_max);
+            }
+        }
+        out
+    }
+
+    /// Message-level transfer: enforcement at the source and destination
+    /// edge switches, deterministic routing over the topology, link
+    /// reservation hop by hop, and the arrival time of the last byte
+    /// (cut-through pipelining: end-to-end time ≈ one serialization of
+    /// the message plus per-hop constants, plus any queueing).
 #[allow(clippy::too_many_arguments)]
     pub fn transfer(
         &mut self,
@@ -148,7 +358,7 @@ impl Fabric {
         len: u64,
         msg_id: u64,
     ) -> TransferOutcome {
-        let Some(src_port) = self.port_of(src) else {
+        let Some(&(ssw, sport)) = self.ports_of.get(&src) else {
             return TransferOutcome::Dropped(DropReason::NoRoute);
         };
         // Representative head packet carries the routing/enforcement fields.
@@ -162,37 +372,156 @@ impl Fabric {
             seq: 0,
             last_of_msg: self.model.packets_for(len) == 1,
         };
-        let egress = match self.switch.forward(src_port, &head) {
-            Verdict::Deliver(p) => p,
-            Verdict::Drop(r) => return TransferOutcome::Dropped(r),
+        // Ingress enforcement at the source edge switch.
+        if let Some(reason) = self.switches[ssw].admit(sport, &head) {
+            return TransferOutcome::Dropped(reason);
+        }
+        let Some(&(dsw, dport)) = self.ports_of.get(&dst) else {
+            return TransferOutcome::Dropped(self.switches[ssw].note_drop(DropReason::NoRoute));
         };
-        // Account the remaining packets of the message in switch counters.
-        let extra_pkts = self.model.packets_for(len) - 1;
-        self.switch.counters.forwarded += extra_pkts;
-        self.switch.counters.forwarded_payload_bytes +=
-            len.saturating_sub(head.payload_len as u64);
+        // The destination switch's routing table stays authoritative: a
+        // NIC unbound there (node removal via `Switch::unbind`) must drop
+        // NoRoute exactly as the single-switch forward path did.
+        if self.switches[dsw].route_to(dst) != Some(dport) {
+            return TransferOutcome::Dropped(self.switches[dsw].note_drop(DropReason::NoRoute));
+        }
+        // Egress enforcement at the destination edge switch.
+        if let Some(reason) = self.switches[dsw].egress_check(dport, &head) {
+            return TransferOutcome::Dropped(reason);
+        }
 
         let wire = self.model.wire_bytes(len);
-        let ser = SimDur::from_nanos(self.model.serialize_ns(wire));
+        let ser_ns = self.model.serialize_ns(wire);
+        let ser = SimDur::from_nanos(ser_ns);
         let hop = SimDur::from_nanos(self.model.hop_latency_ns);
         let prop = SimDur::from_nanos(self.model.propagation_ns);
 
-        let up = self.links.get_mut(&src_port).expect("attached port has link");
+        let up = self.links.get_mut(&(ssw, sport.0)).expect("attached port has link");
         let t0 = now.max(up.up_busy);
         up.up_busy = t0 + ser;
         let src_done = t0 + ser;
 
-        // Head reaches the egress side of the switch (cut-through).
-        let t_sw = t0 + prop + hop;
-        let down = self.links.get_mut(&egress).expect("bound egress has link");
-        let t1 = t_sw.max(down.down_busy);
+        // Head reaches the egress side of the first switch (cut-through).
+        let mut head_t = t0 + prop + hop;
+
+        let pkts = self.model.packets_for(len);
+        let mut hops = 1u64;
+        // Last byte's progress through the pipeline: a trunk carrying the
+        // message at a weighted share of the link rate holds the tail
+        // back, so contended classes see their serialization stretch in
+        // the reported arrival, not only in the trunk's busy horizon.
+        let mut tail_t = src_done;
+        if ssw == dsw {
+            // Same-switch fast path (every legacy single-switch fabric):
+            // no route to compute, no trunks to schedule, no allocation.
+            self.switches[ssw].note_forwarded(pkts, len);
+        } else {
+            // Trunk hops: per-class weighted scheduling, finite queue.
+            // Forwarded counts are booked progressively — a switch counts
+            // the message only once it has cleared that switch's outbound
+            // trunk — so per-switch and per-trunk totals reconcile even
+            // when a later hop congestion-drops the message. Minimal
+            // routing walks the precomputed next-hop table directly (no
+            // allocation); Valiant materialises its detour route.
+            let step = SimDur::from_nanos(self.model.propagation_ns + self.model.hop_latency_ns);
+            match self.topo.policy() {
+                RoutingPolicy::Minimal => {
+                    let mut a = ssw;
+                    while a != dsw {
+                        let b = self.topo.next_hop_min(SwitchId(a), SwitchId(dsw)).0;
+                        let (start, finish) =
+                            match self.traverse_trunk(a, b, tc, ser_ns, len, vni, head_t) {
+                                Ok(t) => t,
+                                Err(outcome) => return outcome,
+                            };
+                        head_t = start + step;
+                        tail_t = (tail_t + prop).max(finish);
+                        self.switches[a].note_forwarded(pkts, len);
+                        hops += 1;
+                        a = b;
+                    }
+                }
+                RoutingPolicy::Valiant => {
+                    let path = self.topo.route(SwitchId(ssw), SwitchId(dsw), msg_id);
+                    hops = path.len() as u64;
+                    for w in path.windows(2) {
+                        let (a, b) = (w[0].0, w[1].0);
+                        let (start, finish) =
+                            match self.traverse_trunk(a, b, tc, ser_ns, len, vni, head_t) {
+                                Ok(t) => t,
+                                Err(outcome) => return outcome,
+                            };
+                        head_t = start + step;
+                        tail_t = (tail_t + prop).max(finish);
+                        self.switches[a].note_forwarded(pkts, len);
+                    }
+                }
+            }
+
+            // The destination edge switch forwards onto its downlink.
+            self.switches[dsw].note_forwarded(pkts, len);
+        }
+
+        let down = self.links.get_mut(&(dsw, dport.0)).expect("bound egress has link");
+        let t1 = head_t.max(down.down_busy);
         down.down_busy = t1 + ser;
-        let arrival = t1 + ser + prop;
+        // The last byte reaches the NIC after both the downlink's own
+        // serialization and the slowest upstream stage have released it.
+        // On a single switch `t1 + ser` always dominates (t1 ≥ t0 + prop
+        // + hop), so the legacy formula is preserved bit for bit.
+        let arrival = (t1 + ser).max(tail_t + prop) + prop;
 
         let t = self.traffic.entry(vni).or_default();
         t.messages += 1;
         t.payload_bytes += len;
+        t.switch_hops += hops;
+        t.class_messages[tc.index()] += 1;
         TransferOutcome::Delivered { arrival, src_done }
+    }
+
+    /// One trunk hop of [`Fabric::transfer`]: the per-class finite-queue
+    /// check plus weighted-sharing bookkeeping on the directed link
+    /// `a → b`. Returns `(start, finish)` — the instants the head enters
+    /// the link and the last byte clears it at the class's weighted
+    /// share of the link rate — or the congestion-drop outcome (already
+    /// counted per hop, per class and per tenant).
+    #[allow(clippy::too_many_arguments)]
+    fn traverse_trunk(
+        &mut self,
+        a: usize,
+        b: usize,
+        tc: TrafficClass,
+        ser_ns: u64,
+        len: u64,
+        vni: Vni,
+        head_t: SimTime,
+    ) -> Result<(SimTime, SimTime), TransferOutcome> {
+        let cls = tc.index();
+        let trunk = self.trunks.get_mut(&(a, b)).expect("route follows topology links");
+        let start = head_t.max(trunk.cls_busy[cls]);
+        let queued_ns = (start - head_t).as_nanos();
+        if queued_ns > self.model.trunk_queue_ns {
+            trunk.counters[cls].congestion_drops += 1;
+            self.traffic.entry(vni).or_default().congestion_drops += 1;
+            return Err(TransferOutcome::Dropped(
+                self.switches[a].note_drop(DropReason::Congested),
+            ));
+        }
+        // Weighted processor sharing across the classes backlogged at
+        // `start`: class `tc` drains at weight(tc)/Σ weights of the link
+        // rate, so its serialization stretches by the inverse share (1x
+        // when it has the trunk to itself).
+        let active: u64 = TrafficClass::ALL
+            .iter()
+            .filter(|c| c.index() == cls || trunk.cls_busy[c.index()] > start)
+            .map(|c| c.weight() as u64)
+            .sum();
+        let ser_eff = SimDur::from_nanos(ser_ns * active / tc.weight() as u64);
+        trunk.cls_busy[cls] = start + ser_eff;
+        trunk.counters[cls].messages += 1;
+        trunk.counters[cls].payload_bytes += len;
+        trunk.counters[cls].queued_ns_max = trunk.counters[cls].queued_ns_max.max(queued_ns);
+        Ok((start, start + ser_eff))
     }
 
     /// Packet-level variant used by the packet-granular data path and the
@@ -202,13 +531,31 @@ impl Fabric {
         self.transfer(now, pkt.src, pkt.dst, pkt.vni, pkt.tc, pkt.payload_len as u64, pkt.msg_id)
     }
 
-    /// Unloaded one-way message time (no queueing): the analytic form of
-    /// [`Fabric::transfer`]. Exposed for calibration tests.
+    /// Unloaded one-way message time (no queueing) across a same-switch
+    /// path: the analytic form of [`Fabric::transfer`] on a single
+    /// switch. Exposed for calibration tests.
     pub fn unloaded_ns(&self, len: u64) -> u64 {
         let wire = self.model.wire_bytes(len);
         self.model.serialize_ns(wire)
             + self.model.hop_latency_ns
             + 2 * self.model.propagation_ns
+    }
+
+    /// Unloaded one-way time between two attached NICs, accounting every
+    /// switch hop and link of the **minimal** route. Returns `None` when
+    /// either NIC is unattached. Under [`RoutingPolicy::Valiant`] actual
+    /// transfers may detour and exceed this even on an idle fabric — it
+    /// is the minimal-path calibration floor, not a per-message oracle.
+    pub fn unloaded_route_ns(&self, src: NicAddr, dst: NicAddr, len: u64) -> Option<u64> {
+        let (ssw, _) = *self.ports_of.get(&src)?;
+        let (dsw, _) = *self.ports_of.get(&dst)?;
+        let hops = self.topo.route_minimal(SwitchId(ssw), SwitchId(dsw)).len() as u64;
+        let wire = self.model.wire_bytes(len);
+        Some(
+            self.model.serialize_ns(wire)
+                + hops * self.model.hop_latency_ns
+                + (hops + 1) * self.model.propagation_ns,
+        )
     }
 }
 
@@ -226,17 +573,33 @@ mod tests {
     }
 
     fn granted(f: &mut Fabric, a: NicAddr, b: NicAddr, vni: Vni) {
-        f.grant_vni(a, vni);
-        f.grant_vni(b, vni);
+        f.grant_vni(a, vni).unwrap();
+        f.grant_vni(b, vni).unwrap();
+    }
+
+    /// 2 groups × 1 switch × 4 edge ports, one NIC per switch, both
+    /// granted the VNI.
+    fn cross_group() -> (Fabric, NicAddr, NicAddr) {
+        let mut f = Fabric::with_topology(
+            CostModel::default(),
+            TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        );
+        let a = NicAddr(1);
+        let b = NicAddr(2);
+        f.attach_to(a, SwitchId(0));
+        f.attach_to(b, SwitchId(1));
+        granted(&mut f, a, b, Vni(7));
+        (f, a, b)
     }
 
     #[test]
     fn delivery_needs_vni_on_both_ends() {
         let (mut f, a, b) = fabric2();
-        f.grant_vni(a, Vni(7));
+        f.grant_vni(a, Vni(7)).unwrap();
         let out = f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 1);
         assert_eq!(out, TransferOutcome::Dropped(DropReason::VniDeniedEgress));
-        f.grant_vni(b, Vni(7));
+        f.grant_vni(b, Vni(7)).unwrap();
         let out = f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 2);
         assert!(matches!(out, TransferOutcome::Delivered { .. }));
     }
@@ -295,7 +658,7 @@ mod tests {
         f.attach(b);
         f.attach(c);
         for n in [a, b, c] {
-            f.grant_vni(n, Vni(1));
+            f.grant_vni(n, Vni(1)).unwrap();
         }
         let len = 1u64 << 18;
         let TransferOutcome::Delivered { arrival: t1, .. } =
@@ -324,6 +687,8 @@ mod tests {
         f.transfer(SimTime::ZERO, a, b, Vni(10), TrafficClass::Dedicated, 100, 2);
         assert_eq!(f.traffic(Vni(9)).messages, 1);
         assert_eq!(f.traffic(Vni(9)).payload_bytes, 100);
+        assert_eq!(f.traffic(Vni(9)).switch_hops, 1);
+        assert_eq!(f.traffic(Vni(9)).class_messages[TrafficClass::Dedicated.index()], 1);
         assert_eq!(f.traffic(Vni(10)).messages, 0);
     }
 
@@ -365,5 +730,225 @@ mod tests {
         f.transfer(SimTime::ZERO, a, b, Vni(2), TrafficClass::Dedicated, len, 1);
         assert_eq!(f.switch().counters.forwarded, 5);
         assert_eq!(f.switch().counters.forwarded_payload_bytes, len);
+    }
+
+    #[test]
+    fn unbound_destination_drops_no_route() {
+        // Node removal through either surface must stop delivery with
+        // NoRoute, exactly as the legacy routing-table lookup did.
+        let (mut f, a, b) = fabric2();
+        granted(&mut f, a, b, Vni(4));
+        let port = f.port_of(b).unwrap();
+        f.switch_mut().unbind(port);
+        assert_eq!(
+            f.transfer(SimTime::ZERO, a, b, Vni(4), TrafficClass::Dedicated, 8, 1),
+            TransferOutcome::Dropped(DropReason::NoRoute)
+        );
+
+        let (mut f, a, b) = fabric2();
+        granted(&mut f, a, b, Vni(4));
+        assert!(f.detach(b));
+        assert!(!f.detach(b), "second detach is a no-op");
+        assert_eq!(
+            f.transfer(SimTime::ZERO, a, b, Vni(4), TrafficClass::Dedicated, 8, 1),
+            TransferOutcome::Dropped(DropReason::NoRoute)
+        );
+        assert_eq!(f.port_of(b), None);
+    }
+
+    #[test]
+    fn detach_frees_the_port_for_reuse() {
+        // Node-replacement churn: a 4-port switch survives more than 4
+        // total attachments because detached ports are reused.
+        let mut f = Fabric::new(4);
+        for round in 0..3u32 {
+            for i in 0..4u32 {
+                f.attach(NicAddr(round * 4 + i + 1));
+            }
+            for i in 0..4u32 {
+                assert!(f.detach(NicAddr(round * 4 + i + 1)));
+            }
+        }
+        let survivor = NicAddr(99);
+        f.attach(survivor);
+        f.grant_vni(survivor, Vni(1)).unwrap();
+        assert!(f.nic_has_vni(survivor, Vni(1)));
+    }
+
+    #[test]
+    fn grant_on_unknown_nic_is_an_error() {
+        let (mut f, _, _) = fabric2();
+        assert_eq!(
+            f.grant_vni(NicAddr(99), Vni(5)),
+            Err(FabricError::UnknownNic(NicAddr(99)))
+        );
+    }
+
+    #[test]
+    fn anomalous_revokes_are_audited() {
+        let (mut f, a, _) = fabric2();
+        assert!(!f.revoke_vni(NicAddr(99), Vni(5)));
+        assert!(!f.revoke_vni(a, Vni(5)));
+        assert_eq!(
+            f.audit(),
+            &[
+                FabricAuditEvent::RevokeUnknownNic { nic: NicAddr(99), vni: Vni(5) },
+                FabricAuditEvent::RevokeNeverGranted { nic: a, vni: Vni(5) },
+            ]
+        );
+        // A legitimate grant/revoke pair leaves no new audit entries.
+        f.grant_vni(a, Vni(5)).unwrap();
+        assert!(f.revoke_vni(a, Vni(5)));
+        assert_eq!(f.audit().len(), 2);
+    }
+
+    #[test]
+    fn cross_group_transfer_crosses_the_global_link() {
+        let (mut f, a, b) = cross_group();
+        let TransferOutcome::Delivered { arrival, .. } =
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 64, 1)
+        else {
+            panic!("dropped")
+        };
+        // Two switch hops: strictly slower than the single-switch path.
+        assert_eq!(arrival.as_nanos(), f.unloaded_route_ns(a, b, 64).unwrap());
+        assert!(arrival.as_nanos() > f.unloaded_ns(64));
+        assert_eq!(f.traffic(Vni(7)).switch_hops, 2);
+        let trunk = f.trunk_counters(SwitchId(0), SwitchId(1)).unwrap();
+        assert_eq!(trunk[TrafficClass::Dedicated.index()].messages, 1);
+        // Both edge switches counted the forwarded packet.
+        assert_eq!(f.switch_at(SwitchId(0)).counters.forwarded, 1);
+        assert_eq!(f.switch_at(SwitchId(1)).counters.forwarded, 1);
+    }
+
+    #[test]
+    fn cross_group_enforcement_checks_both_edge_ports() {
+        let mut f = Fabric::with_topology(
+            CostModel::default(),
+            TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        );
+        let (a, b) = (NicAddr(1), NicAddr(2));
+        f.attach_to(a, SwitchId(0));
+        f.attach_to(b, SwitchId(1));
+        f.grant_vni(a, Vni(7)).unwrap();
+        // Sender holds the VNI, receiver (on the other switch) does not.
+        assert_eq!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 1),
+            TransferOutcome::Dropped(DropReason::VniDeniedEgress)
+        );
+        assert_eq!(
+            f.transfer(SimTime::ZERO, b, a, Vni(7), TrafficClass::Dedicated, 8, 2),
+            TransferOutcome::Dropped(DropReason::VniDeniedIngress)
+        );
+    }
+
+    /// 2 groups × 1 switch; three sender NICs in group 0 whose uplinks
+    /// converge on the single global link towards the receiver in
+    /// group 1 — the shape that actually backlogs a trunk (one sender
+    /// alone is already serialized by its own uplink).
+    fn incast_rig() -> (Fabric, [NicAddr; 3], NicAddr) {
+        let mut f = Fabric::with_topology(
+            CostModel::default(),
+            TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        );
+        let senders = [NicAddr(1), NicAddr(2), NicAddr(3)];
+        let b = NicAddr(9);
+        for s in senders {
+            f.attach_to(s, SwitchId(0));
+            f.grant_vni(s, Vni(7)).unwrap();
+        }
+        f.attach_to(b, SwitchId(1));
+        f.grant_vni(b, Vni(7)).unwrap();
+        (f, senders, b)
+    }
+
+    #[test]
+    fn low_latency_class_is_shielded_on_a_contended_trunk() {
+        let (mut f, senders, b) = incast_rig();
+        // A bulk incast backlogs the trunk's BulkData queue...
+        let bulk = 1u64 << 20;
+        let mut delivered = 0;
+        for (i, s) in senders.iter().enumerate() {
+            if matches!(
+                f.transfer(SimTime::ZERO, *s, b, Vni(7), TrafficClass::BulkData, bulk, i as u64),
+                TransferOutcome::Delivered { .. }
+            ) {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 2, "some of the burst gets through");
+        assert!(
+            f.trunk_class_totals()[TrafficClass::BulkData.index()].queued_ns_max > 0,
+            "the bulk class actually queued"
+        );
+        // ...while a low-latency message between two *otherwise idle*
+        // NICs, sharing only the trunk with the burst, sees only the
+        // weighted-sharing stretch, not the burst's backlog. (Edge links
+        // are class-blind, so the probe gets its own.)
+        let (lla, llb) = (NicAddr(4), NicAddr(10));
+        f.attach_to(lla, SwitchId(0));
+        f.attach_to(llb, SwitchId(1));
+        granted(&mut f, lla, llb, Vni(7));
+        let TransferOutcome::Delivered { arrival, .. } =
+            f.transfer(SimTime::ZERO, lla, llb, Vni(7), TrafficClass::LowLatency, 64, 99)
+        else {
+            panic!("dropped")
+        };
+        let unloaded = f.unloaded_route_ns(lla, llb, 64).unwrap();
+        assert!(
+            arrival.as_nanos() < 2 * unloaded,
+            "low-latency {}ns vs unloaded {unloaded}ns",
+            arrival.as_nanos()
+        );
+    }
+
+    #[test]
+    fn trunk_queue_overflow_drops_and_counts_per_class_and_tenant() {
+        let (mut f, senders, b) = incast_rig();
+        let bulk = 1u64 << 20; // ~43 µs serialization; the 100 µs bound
+        let mut outcomes = Vec::new();
+        // Two interleaved incast waves: sender uplinks are parallel, so
+        // the trunk's BulkData queue grows by one serialization per
+        // convergent message until the bound trips.
+        for wave in 0..2u64 {
+            for (i, s) in senders.iter().enumerate() {
+                let id = wave * 3 + i as u64;
+                outcomes.push(
+                    f.transfer(SimTime::ZERO, *s, b, Vni(7), TrafficClass::BulkData, bulk, id),
+                );
+            }
+        }
+        let drops = outcomes
+            .iter()
+            .filter(|o| matches!(o, TransferOutcome::Dropped(DropReason::Congested)))
+            .count();
+        assert!(drops > 0, "queue bound must trip: {outcomes:?}");
+        let totals = f.trunk_class_totals();
+        assert_eq!(totals[TrafficClass::BulkData.index()].congestion_drops, drops as u64);
+        assert_eq!(f.traffic(Vni(7)).congestion_drops, drops as u64);
+        assert_eq!(
+            f.switch_at(SwitchId(0)).counters.drops.get(&DropReason::Congested),
+            Some(&(drops as u64))
+        );
+    }
+
+    #[test]
+    fn multi_switch_transfers_are_deterministic() {
+        let run = || {
+            let (mut f, a, b) = cross_group();
+            let mut arrivals = Vec::new();
+            for i in 0..8 {
+                let tc = TrafficClass::ALL[(i % 4) as usize];
+                if let TransferOutcome::Delivered { arrival, .. } =
+                    f.transfer(SimTime::from_nanos(i * 500), a, b, Vni(7), tc, 4096, i)
+                {
+                    arrivals.push(arrival.as_nanos());
+                }
+            }
+            arrivals
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -3,25 +3,37 @@
 //! Models the parts of the Slingshot network that the paper's security
 //! and performance arguments rest on (§II-B/§II-C):
 //!
-//! * a Rosetta-like switch with **per-port VNI enforcement tables** — a
+//! * a dragonfly [`topology::Topology`] of Rosetta-like switches —
+//!   groups of locally all-to-all switches joined by global links, with
+//!   a deterministic minimal/Valiant routing table computed at build
+//!   time;
+//! * **per-port VNI enforcement tables** on the edge switches — a
 //!   packet is only routed when both the sender and the receiver port
 //!   have been granted its VNI ([`switch::Switch`]);
 //! * 200 Gb/s links with a cut-through timing model calibrated to
-//!   Slingshot magnitudes ([`packet::CostModel`], [`fabric::Fabric`]);
+//!   Slingshot magnitudes ([`packet::CostModel`], [`fabric::Fabric`]),
+//!   plus per-traffic-class weighted scheduling and finite queues on
+//!   inter-switch links;
 //! * four traffic classes with deficit-weighted egress arbitration
 //!   ([`switch::WrrArbiter`]) for the co-scheduling use case of §I.
 //!
 //! The crate is sans-IO: all functions take `now` and return outcomes or
 //! arrival instants; the composition layer schedules the actual events.
+//! See `FABRIC.md` at the repository root for the topology model, the
+//! routing scheme, and the packet path end to end.
 
 pub mod fabric;
 pub mod packet;
 pub mod pktsim;
 pub mod switch;
+pub mod topology;
 pub mod types;
 
-pub use fabric::{Fabric, TransferOutcome, VniTraffic};
+pub use fabric::{
+    Fabric, FabricAuditEvent, FabricError, TransferOutcome, TrunkClassCounters, VniTraffic,
+};
 pub use pktsim::{simulate_contention, ClassStats, Flow};
 pub use packet::{segment, CostModel, Packet};
 pub use switch::{DropReason, Switch, SwitchConfig, SwitchCounters, Verdict, WrrArbiter};
-pub use types::{NicAddr, PortId, TrafficClass, Vni};
+pub use topology::{RoutingPolicy, Topology, TopologySpec};
+pub use types::{NicAddr, PortId, SwitchId, TrafficClass, Vni};

@@ -16,6 +16,11 @@ pub struct CostModel {
     pub hop_latency_ns: u64,
     /// Per-link propagation delay, nanoseconds.
     pub propagation_ns: u64,
+    /// Maximum queueing delay a message may accrue at one inter-switch
+    /// (trunk) link before the switch's congestion management drops it
+    /// (per-class queues are finite on real Rosetta hardware; edge links
+    /// model the NIC's unbounded retry instead). Nanoseconds.
+    pub trunk_queue_ns: u64,
 }
 
 impl Default for CostModel {
@@ -26,6 +31,7 @@ impl Default for CostModel {
             header_bytes: 64,
             hop_latency_ns: 350,
             propagation_ns: 20,
+            trunk_queue_ns: 100_000,
         }
     }
 }
@@ -33,6 +39,13 @@ impl Default for CostModel {
 impl CostModel {
     /// Number of packets a message of `len` payload bytes segments into.
     /// Zero-byte messages still cost one (header-only) packet.
+    ///
+    /// ```
+    /// let m = shs_fabric::CostModel::default(); // 2 KiB MTU
+    /// assert_eq!(m.packets_for(0), 1);
+    /// assert_eq!(m.packets_for(2048), 1);
+    /// assert_eq!(m.packets_for(2049), 2);
+    /// ```
     pub fn packets_for(&self, len: u64) -> u64 {
         if len == 0 {
             1
@@ -41,7 +54,14 @@ impl CostModel {
         }
     }
 
-    /// Total wire bytes for a message of `len` payload bytes.
+    /// Total wire bytes for a message of `len` payload bytes: the
+    /// payload plus one header per packet.
+    ///
+    /// ```
+    /// let m = shs_fabric::CostModel::default(); // 64 B header
+    /// assert_eq!(m.wire_bytes(2048), 2048 + 64);
+    /// assert_eq!(m.wire_bytes(4096), 4096 + 2 * 64);
+    /// ```
     pub fn wire_bytes(&self, len: u64) -> u64 {
         len + self.packets_for(len) * self.header_bytes as u64
     }

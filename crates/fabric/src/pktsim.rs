@@ -74,6 +74,17 @@ fn drain(sim: &mut Sim<PortWorld>) {
 
 /// Simulate the given flows sharing one egress port; returns per-class
 /// statistics. Fully deterministic.
+///
+/// ```
+/// use shs_des::SimTime;
+/// use shs_fabric::{simulate_contention, CostModel, Flow, TrafficClass};
+///
+/// let stats = simulate_contention(
+///     CostModel::default(),
+///     &[Flow { tc: TrafficClass::Dedicated, messages: 2, size: 2048, arrival: SimTime::ZERO }],
+/// );
+/// assert_eq!(stats[&TrafficClass::Dedicated].messages, 2);
+/// ```
 pub fn simulate_contention(model: CostModel, flows: &[Flow]) -> BTreeMap<TrafficClass, ClassStats> {
     let quantum = model.mtu as i64 + model.header_bytes as i64;
     let world = PortWorld {

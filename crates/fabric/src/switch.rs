@@ -17,6 +17,9 @@ pub enum DropReason {
     NoRoute,
     /// Source address does not match the ingress port binding (spoofing).
     SourceSpoofed,
+    /// Dropped by congestion management: the per-class queue at an
+    /// inter-switch link exceeded the cost model's `trunk_queue_ns`.
+    Congested,
 }
 
 /// Forwarding verdict for one packet.
@@ -129,6 +132,12 @@ impl Switch {
         self.vni_table.get_mut(&port).is_some_and(|s| s.remove(&vni))
     }
 
+    /// Egress port a NIC is currently bound to on this switch (`None`
+    /// after [`Switch::unbind`]).
+    pub fn route_to(&self, nic: NicAddr) -> Option<PortId> {
+        self.routes.get(&nic).copied()
+    }
+
     /// Whether a port holds a VNI grant.
     pub fn has_vni(&self, port: PortId, vni: Vni) -> bool {
         self.vni_table.get(&port).is_some_and(|s| s.contains(&vni))
@@ -139,33 +148,80 @@ impl Switch {
         self.vni_table.get(&port).into_iter().flatten().copied()
     }
 
-    /// The forwarding decision for one packet arriving on `ingress`.
+    /// The forwarding decision for one packet arriving on `ingress`,
+    /// when the destination NIC is attached to *this* switch.
     ///
     /// Mirrors §II-C: "only route packets within a VNI if both the sender
-    /// and receiver NIC have been granted access to that VNI".
+    /// and receiver NIC have been granted access to that VNI". The
+    /// multi-switch fabric engine composes the same checks across the
+    /// source and destination edge switches via [`Switch::admit`] and
+    /// [`Switch::egress_check`].
+    ///
+    /// ```
+    /// use shs_fabric::{NicAddr, Packet, PortId, Switch, SwitchConfig, TrafficClass, Verdict, Vni};
+    ///
+    /// let mut sw = Switch::new(SwitchConfig { ports: 2, ..Default::default() });
+    /// sw.bind(PortId(0), NicAddr(10));
+    /// sw.bind(PortId(1), NicAddr(11));
+    /// sw.grant_vni(PortId(0), Vni(5));
+    /// sw.grant_vni(PortId(1), Vni(5));
+    /// let pkt = Packet {
+    ///     src: NicAddr(10), dst: NicAddr(11), vni: Vni(5),
+    ///     tc: TrafficClass::Dedicated, payload_len: 64,
+    ///     msg_id: 1, seq: 0, last_of_msg: true,
+    /// };
+    /// assert_eq!(sw.forward(PortId(0), &pkt), Verdict::Deliver(PortId(1)));
+    /// ```
     pub fn forward(&mut self, ingress: PortId, pkt: &Packet) -> Verdict {
-        if self.config.check_source
-            && self.bindings.get(&ingress).is_some_and(|&nic| nic != pkt.src)
-        {
-            return self.drop(DropReason::SourceSpoofed);
-        }
-        if self.config.enforce_vnis && !self.has_vni(ingress, pkt.vni) {
-            return self.drop(DropReason::VniDeniedIngress);
+        if let Some(reason) = self.admit(ingress, pkt) {
+            return Verdict::Drop(reason);
         }
         let Some(&egress) = self.routes.get(&pkt.dst) else {
-            return self.drop(DropReason::NoRoute);
+            return Verdict::Drop(self.note_drop(DropReason::NoRoute));
         };
-        if self.config.enforce_vnis && !self.has_vni(egress, pkt.vni) {
-            return self.drop(DropReason::VniDeniedEgress);
+        if let Some(reason) = self.egress_check(egress, pkt) {
+            return Verdict::Drop(reason);
         }
         self.counters.forwarded += 1;
         self.counters.forwarded_payload_bytes += pkt.payload_len as u64;
         Verdict::Deliver(egress)
     }
 
-    fn drop(&mut self, reason: DropReason) -> Verdict {
+    /// Ingress-side admission: source validation plus the per-port VNI
+    /// ingress check, with drops counted. `None` means admitted.
+    pub fn admit(&mut self, ingress: PortId, pkt: &Packet) -> Option<DropReason> {
+        if self.config.check_source
+            && self.bindings.get(&ingress).is_some_and(|&nic| nic != pkt.src)
+        {
+            return Some(self.note_drop(DropReason::SourceSpoofed));
+        }
+        if self.config.enforce_vnis && !self.has_vni(ingress, pkt.vni) {
+            return Some(self.note_drop(DropReason::VniDeniedIngress));
+        }
+        None
+    }
+
+    /// Egress-side VNI enforcement for a packet leaving via `egress`,
+    /// with drops counted. `None` means the grant is in place.
+    pub fn egress_check(&mut self, egress: PortId, pkt: &Packet) -> Option<DropReason> {
+        if self.config.enforce_vnis && !self.has_vni(egress, pkt.vni) {
+            return Some(self.note_drop(DropReason::VniDeniedEgress));
+        }
+        None
+    }
+
+    /// Count a drop decided by the fabric engine (e.g. trunk congestion)
+    /// against this switch, returning the reason for convenience.
+    pub fn note_drop(&mut self, reason: DropReason) -> DropReason {
         *self.counters.drops.entry(reason).or_insert(0) += 1;
-        Verdict::Drop(reason)
+        reason
+    }
+
+    /// Account `pkts` forwarded packets carrying `payload` bytes (used
+    /// by the fabric engine for transit switches on multi-hop routes).
+    pub fn note_forwarded(&mut self, pkts: u64, payload: u64) {
+        self.counters.forwarded += pkts;
+        self.counters.forwarded_payload_bytes += payload;
     }
 }
 

@@ -1,0 +1,326 @@
+//! Dragonfly-style multi-switch topology with a routing table computed
+//! at build time.
+//!
+//! The shape mirrors Slingshot's dragonfly (§II-B of the paper): NICs
+//! attach to edge ports of a switch; the switches of one *group* are
+//! fully connected by local links; every pair of groups is connected by
+//! one bidirectional *global* link between deterministic gateway
+//! switches. Routing is deterministic and loop-free:
+//!
+//! * **minimal** — at most `src → gateway(src group) → landing(dst
+//!   group) → dst`, i.e. ≤ 3 inter-switch hops;
+//! * **non-minimal (Valiant)** — detour through the landing switch of a
+//!   deterministically chosen intermediate group (keyed by the caller's
+//!   salt, typically the message id), the classic congestion-avoidance
+//!   route with ≤ 5 inter-switch hops.
+//!
+//! A 1-group × 1-switch spec is the degenerate single-switch fabric the
+//! rest of the workspace grew up on; all routes are then `[switch]` and
+//! the engine's timing reduces to the original single-switch formula.
+
+use crate::types::SwitchId;
+
+/// Shape of a dragonfly fabric.
+///
+/// ```
+/// use shs_fabric::TopologySpec;
+///
+/// let spec = TopologySpec { groups: 4, switches_per_group: 2, edge_ports: 16 };
+/// assert_eq!(spec.total_switches(), 8);
+/// assert_eq!(TopologySpec::single_switch(64).total_switches(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Number of dragonfly groups (≥ 1).
+    pub groups: usize,
+    /// Switches per group, locally all-to-all connected (≥ 1).
+    pub switches_per_group: usize,
+    /// NIC-facing edge ports per switch.
+    pub edge_ports: usize,
+}
+
+impl TopologySpec {
+    /// The degenerate 1-group × 1-switch topology (the legacy
+    /// single-switch fabric).
+    pub const fn single_switch(edge_ports: usize) -> Self {
+        TopologySpec { groups: 1, switches_per_group: 1, edge_ports }
+    }
+
+    /// Total switch count over all groups.
+    pub const fn total_switches(&self) -> usize {
+        self.groups * self.switches_per_group
+    }
+}
+
+/// Route selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Always the minimal (≤ 3 inter-switch hops) route.
+    #[default]
+    Minimal,
+    /// Valiant load balancing: detour via a deterministic intermediate
+    /// group chosen from the route salt. Falls back to minimal when
+    /// fewer than three groups exist.
+    Valiant,
+}
+
+/// The built topology: spec + the minimal-route next-hop table.
+///
+/// ```
+/// use shs_fabric::{RoutingPolicy, SwitchId, Topology, TopologySpec};
+///
+/// let topo = Topology::new(
+///     TopologySpec { groups: 2, switches_per_group: 2, edge_ports: 8 },
+///     RoutingPolicy::Minimal,
+/// );
+/// // Same group: one local hop. Different group: via the global link.
+/// assert_eq!(topo.route(SwitchId(0), SwitchId(1), 0), vec![SwitchId(0), SwitchId(1)]);
+/// let cross = topo.route(SwitchId(0), SwitchId(3), 0);
+/// assert_eq!(cross.first(), Some(&SwitchId(0)));
+/// assert_eq!(cross.last(), Some(&SwitchId(3)));
+/// assert!(cross.len() <= 4, "minimal dragonfly routes are at most 4 switches");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: TopologySpec,
+    policy: RoutingPolicy,
+    /// `next_hop[src][dst]` = next switch on the minimal route from
+    /// `src` towards `dst` (self for `src == dst`). Computed at build
+    /// time; `route` only walks it.
+    next_hop: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Build the topology and its routing table. Panics on a zero
+    /// dimension (a wiring bug, like the fabric's double-attach).
+    pub fn new(spec: TopologySpec, policy: RoutingPolicy) -> Self {
+        assert!(spec.groups >= 1, "topology needs at least one group");
+        assert!(spec.switches_per_group >= 1, "topology needs at least one switch per group");
+        let n = spec.total_switches();
+        let mut next_hop = vec![vec![0u32; n]; n];
+        for (src, row) in next_hop.iter_mut().enumerate() {
+            for (dst, hop) in row.iter_mut().enumerate() {
+                *hop = Self::compute_next_hop(&spec, src, dst) as u32;
+            }
+        }
+        Topology { spec, policy, next_hop }
+    }
+
+    /// The shape this topology was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// The routing policy in force.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Total switch count.
+    pub fn switch_count(&self) -> usize {
+        self.spec.total_switches()
+    }
+
+    /// Group a switch belongs to.
+    pub fn group_of(&self, sw: SwitchId) -> usize {
+        sw.0 / self.spec.switches_per_group
+    }
+
+    /// Flat switch id of local switch `idx` in `group`.
+    pub fn switch_in_group(&self, group: usize, idx: usize) -> SwitchId {
+        SwitchId(group * self.spec.switches_per_group + idx % self.spec.switches_per_group)
+    }
+
+    /// Gateway switch in `from_group` holding the global link towards
+    /// `to_group` (deterministic consecutive assignment: link for group
+    /// pair `(i, j)` hangs off local switch `j mod a` in group `i` and
+    /// lands on local switch `i mod a` in group `j`).
+    pub fn gateway(&self, from_group: usize, to_group: usize) -> SwitchId {
+        self.switch_in_group(from_group, to_group)
+    }
+
+    /// Whether two distinct switches are directly linked (local
+    /// all-to-all within a group, or the group pair's global link).
+    pub fn connected(&self, a: SwitchId, b: SwitchId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ga, gb) = (self.group_of(a), self.group_of(b));
+        if ga == gb {
+            return true; // local all-to-all
+        }
+        self.gateway(ga, gb) == a && self.gateway(gb, ga) == b
+    }
+
+    /// Every directed inter-switch link, in deterministic order.
+    pub fn trunk_links(&self) -> Vec<(SwitchId, SwitchId)> {
+        let n = self.switch_count();
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if self.connected(SwitchId(a), SwitchId(b)) {
+                    out.push((SwitchId(a), SwitchId(b)));
+                }
+            }
+        }
+        out
+    }
+
+    fn compute_next_hop(spec: &TopologySpec, src: usize, dst: usize) -> usize {
+        if src == dst {
+            return dst;
+        }
+        let a = spec.switches_per_group;
+        let (gs, gd) = (src / a, dst / a);
+        if gs == gd {
+            return dst; // local all-to-all
+        }
+        let gateway = gs * a + gd % a;
+        if src == gateway {
+            gd * a + gs % a // the global hop lands in the destination group
+        } else {
+            gateway // first reach this group's gateway towards gd
+        }
+    }
+
+    /// Next switch on the minimal route from `from` towards `to` (one
+    /// lookup in the build-time table; `from` itself when already
+    /// there). The allocation-free primitive behind [`route_minimal`]
+    /// — hot paths walk it directly.
+    ///
+    /// [`route_minimal`]: Topology::route_minimal
+    pub fn next_hop_min(&self, from: SwitchId, to: SwitchId) -> SwitchId {
+        SwitchId(self.next_hop[from.0][to.0] as usize)
+    }
+
+    /// Minimal route between two switches, endpoints included. A route
+    /// never revisits a switch and is at most 4 switches long.
+    pub fn route_minimal(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId> {
+        let mut path = vec![from];
+        let mut cur = from.0;
+        while cur != to.0 {
+            cur = self.next_hop[cur][to.0] as usize;
+            path.push(SwitchId(cur));
+        }
+        path
+    }
+
+    /// The route the fabric uses for a message, per the policy. `salt`
+    /// (typically the message id) picks the Valiant intermediate group
+    /// deterministically; minimal routing ignores it.
+    pub fn route(&self, from: SwitchId, to: SwitchId, salt: u64) -> Vec<SwitchId> {
+        match self.policy {
+            RoutingPolicy::Minimal => self.route_minimal(from, to),
+            RoutingPolicy::Valiant => self.route_valiant(from, to, salt),
+        }
+    }
+
+    /// Valiant route: minimal to the landing switch of an intermediate
+    /// group, then minimal onwards. Deterministic in `salt`; loop-free
+    /// because the groups visited (`src`, `mid`, `dst`) are distinct and
+    /// each group's switches appear consecutively.
+    pub fn route_valiant(&self, from: SwitchId, to: SwitchId, salt: u64) -> Vec<SwitchId> {
+        let (gs, gd) = (self.group_of(from), self.group_of(to));
+        if self.spec.groups < 3 || gs == gd {
+            return self.route_minimal(from, to);
+        }
+        // k-th intermediate group in ascending order, skipping src/dst
+        // (pure arithmetic; no candidate list is materialised).
+        let others = (self.spec.groups - 2) as u64;
+        let mut mid_group = (salt % others) as usize;
+        let (lo, hi) = (gs.min(gd), gs.max(gd));
+        if mid_group >= lo {
+            mid_group += 1;
+        }
+        if mid_group >= hi {
+            mid_group += 1;
+        }
+        // Route to where the src group's global link lands in mid_group,
+        // so the junction switch is shared by both minimal segments.
+        let mid = self.switch_in_group(mid_group, gs);
+        let mut path = self.route_minimal(from, mid);
+        let tail = self.route_minimal(mid, to);
+        path.extend(tail.into_iter().skip(1));
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(groups: usize, a: usize) -> Topology {
+        Topology::new(
+            TopologySpec { groups, switches_per_group: a, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        )
+    }
+
+    #[test]
+    fn degenerate_single_switch_routes_to_itself() {
+        let t = topo(1, 1);
+        assert_eq!(t.route(SwitchId(0), SwitchId(0), 9), vec![SwitchId(0)]);
+        assert!(t.trunk_links().is_empty());
+    }
+
+    #[test]
+    fn same_group_is_one_local_hop() {
+        let t = topo(2, 4);
+        assert_eq!(t.route(SwitchId(1), SwitchId(3), 0), vec![SwitchId(1), SwitchId(3)]);
+    }
+
+    #[test]
+    fn cross_group_routes_are_minimal_and_valid() {
+        let t = topo(3, 2);
+        for s in 0..t.switch_count() {
+            for d in 0..t.switch_count() {
+                let p = t.route_minimal(SwitchId(s), SwitchId(d));
+                assert_eq!(p[0], SwitchId(s));
+                assert_eq!(*p.last().unwrap(), SwitchId(d));
+                assert!(p.len() <= 4, "{s}->{d}: {p:?}");
+                for w in p.windows(2) {
+                    assert!(t.connected(w[0], w[1]), "{s}->{d}: {:?} not linked", w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_links_are_symmetric() {
+        let t = topo(4, 3);
+        for (a, b) in t.trunk_links() {
+            assert!(t.connected(b, a), "link {a}->{b} must be bidirectional");
+        }
+    }
+
+    #[test]
+    fn valiant_detours_through_a_third_group() {
+        let t = Topology::new(
+            TopologySpec { groups: 4, switches_per_group: 2, edge_ports: 4 },
+            RoutingPolicy::Valiant,
+        );
+        let from = SwitchId(0);
+        let to = SwitchId(7); // group 3
+        let p = t.route(from, to, 1);
+        let groups: Vec<usize> = p.iter().map(|&s| t.group_of(s)).collect();
+        assert!(groups.iter().any(|&g| g != 0 && g != 3), "detour group in {groups:?}");
+        // Loop-free and valid.
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(p.iter().all(|s| seen.insert(*s)), "revisit in {p:?}");
+        for w in p.windows(2) {
+            assert!(t.connected(w[0], w[1]));
+        }
+        // Deterministic in the salt.
+        assert_eq!(p, t.route(from, to, 1));
+        assert!(p.len() <= 6);
+    }
+
+    #[test]
+    fn valiant_degrades_to_minimal_below_three_groups() {
+        let t = Topology::new(
+            TopologySpec { groups: 2, switches_per_group: 2, edge_ports: 4 },
+            RoutingPolicy::Valiant,
+        );
+        assert_eq!(t.route(SwitchId(0), SwitchId(3), 5), t.route_minimal(SwitchId(0), SwitchId(3)));
+    }
+}

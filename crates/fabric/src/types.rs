@@ -40,13 +40,24 @@ impl fmt::Display for NicAddr {
     }
 }
 
-/// A switch port index.
+/// A switch port index (local to one switch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub usize);
 
 impl fmt::Display for PortId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "port{}", self.0)
+    }
+}
+
+/// A switch index in a [`crate::topology::Topology`], flat over all
+/// groups: switch `s` of group `g` has id `g * switches_per_group + s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub usize);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
     }
 }
 

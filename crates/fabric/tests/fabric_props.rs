@@ -52,10 +52,10 @@ proptest! {
         f.attach(NicAddr(1));
         f.attach(NicAddr(2));
         if grant_src {
-            f.grant_vni(NicAddr(1), Vni(vni));
+            f.grant_vni(NicAddr(1), Vni(vni)).unwrap();
         }
         if grant_dst {
-            f.grant_vni(NicAddr(2), Vni(vni));
+            f.grant_vni(NicAddr(2), Vni(vni)).unwrap();
         }
         let out = f.transfer(SimTime::ZERO, NicAddr(1), NicAddr(2), Vni(vni),
                              TrafficClass::Dedicated, len, 1);
@@ -79,8 +79,8 @@ proptest! {
         let mut f = Fabric::new(4);
         f.attach(NicAddr(1));
         f.attach(NicAddr(2));
-        f.grant_vni(NicAddr(1), Vni(1));
-        f.grant_vni(NicAddr(2), Vni(1));
+        f.grant_vni(NicAddr(1), Vni(1)).unwrap();
+        f.grant_vni(NicAddr(2), Vni(1)).unwrap();
         let now = SimTime::from_nanos(start_ns);
         let mut last_arrival = SimTime::ZERO;
         for (i, len) in lens.iter().enumerate() {

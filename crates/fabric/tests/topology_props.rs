@@ -1,0 +1,95 @@
+//! Property tests for the dragonfly topology: routing must be
+//! deterministic, loop-free, link-valid and hop-bounded for arbitrary
+//! (groups, switches/group, edge ports) within bounds, under both the
+//! minimal and the Valiant policy.
+
+use proptest::prelude::*;
+use shs_fabric::{RoutingPolicy, SwitchId, Topology, TopologySpec};
+
+fn spec_strategy() -> impl Strategy<Value = TopologySpec> {
+    (1usize..6, 1usize..5, 1usize..8).prop_map(|(groups, switches_per_group, edge_ports)| {
+        TopologySpec { groups, switches_per_group, edge_ports }
+    })
+}
+
+fn check_route(topo: &Topology, path: &[SwitchId], from: SwitchId, to: SwitchId, max_len: usize) {
+    assert_eq!(path.first(), Some(&from), "route starts at the source");
+    assert_eq!(path.last(), Some(&to), "route ends at the destination");
+    assert!(path.len() <= max_len, "route too long: {path:?}");
+    let mut seen = std::collections::BTreeSet::new();
+    for s in path {
+        assert!(seen.insert(*s), "loop: {path:?} revisits {s}");
+    }
+    for w in path.windows(2) {
+        assert!(topo.connected(w[0], w[1]), "{:?}: {} and {} not linked", path, w[0], w[1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Minimal routing: every switch pair gets a deterministic,
+    /// loop-free route over existing links of at most 4 switches.
+    #[test]
+    fn minimal_routes_are_deterministic_and_loop_free(
+        spec in spec_strategy(),
+        salt in any::<u64>(),
+    ) {
+        let topo = Topology::new(spec, RoutingPolicy::Minimal);
+        let rebuilt = Topology::new(spec, RoutingPolicy::Minimal);
+        let n = topo.switch_count();
+        for s in 0..n {
+            for d in 0..n {
+                let (from, to) = (SwitchId(s), SwitchId(d));
+                let path = topo.route(from, to, salt);
+                check_route(&topo, &path, from, to, 4);
+                // Deterministic: independent of the salt and of the
+                // Topology instance (the table is a pure function of the
+                // spec).
+                prop_assert_eq!(&path, &topo.route(from, to, salt.wrapping_add(1)));
+                prop_assert_eq!(&path, &rebuilt.route(from, to, salt));
+            }
+        }
+    }
+
+    /// Valiant routing: loop-free over existing links, at most 6
+    /// switches, and deterministic in the salt.
+    #[test]
+    fn valiant_routes_are_deterministic_and_loop_free(
+        spec in spec_strategy(),
+        salt in any::<u64>(),
+    ) {
+        let topo = Topology::new(spec, RoutingPolicy::Valiant);
+        let n = topo.switch_count();
+        for s in 0..n {
+            for d in 0..n {
+                let (from, to) = (SwitchId(s), SwitchId(d));
+                let path = topo.route(from, to, salt);
+                check_route(&topo, &path, from, to, 6);
+                prop_assert_eq!(&path, &topo.route(from, to, salt));
+            }
+        }
+    }
+
+    /// The trunk-link set is symmetric and exactly matches `connected`.
+    #[test]
+    fn trunk_links_match_connectivity(spec in spec_strategy()) {
+        let topo = Topology::new(spec, RoutingPolicy::Minimal);
+        let links = topo.trunk_links();
+        for &(a, b) in &links {
+            prop_assert!(topo.connected(a, b));
+            prop_assert!(links.contains(&(b, a)), "asymmetric link {a}->{b}");
+        }
+        let n = topo.switch_count();
+        let listed: std::collections::BTreeSet<_> =
+            links.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    listed.contains(&(a, b)),
+                    topo.connected(SwitchId(a), SwitchId(b))
+                );
+            }
+        }
+    }
+}

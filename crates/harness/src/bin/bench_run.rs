@@ -30,7 +30,10 @@ use std::time::Instant;
 
 use serde_json::{json, Value};
 use shs_vnistore::{Store, StoreConfig};
-use slingshot_k8s::{by_name, run_scenario, AcquireReleaseWorkload, ChurnHotWorkload, VniDb};
+use slingshot_k8s::{
+    by_name, run_scenario, AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload,
+    VniDb,
+};
 
 struct Opts {
     quick: bool,
@@ -131,6 +134,16 @@ fn bench_churn_hot(samples: usize, iters: u64) -> (f64, ChurnHotWorkload) {
     (med, w)
 }
 
+/// The multi-switch fabric hot path timed by the `fabric_transfer_hot`
+/// Criterion target — same shared definition, see
+/// `slingshot_k8s::workloads::FabricTransferHotWorkload`.
+fn bench_fabric_transfer_hot(samples: usize, iters: u64) -> f64 {
+    let mut w = FabricTransferHotWorkload::new();
+    measure(samples, iters, || {
+        w.step();
+    })
+}
+
 fn bench_store_commit(samples: usize, iters: u64) -> f64 {
     let mut store = Store::new(StoreConfig { snapshot_every: None });
     let mut i = 0u64;
@@ -201,11 +214,15 @@ fn main() {
     let (churn, churn_workload) = bench_churn_hot(samples, churn_iters);
     eprintln!("bench-run: timing store_txn_commit ...");
     let store = bench_store_commit(samples, store_iters);
+    eprintln!("bench-run: timing fabric_transfer_hot ...");
+    let fabric_iters = store_iters;
+    let fabric = bench_fabric_transfer_hot(samples, fabric_iters);
 
     let mut benchmarks = vec![
         bench_entry("vni_db_acquire_release", ar, samples, ar_iters),
         bench_entry("vni_db_churn_hot", churn, samples, churn_iters),
         bench_entry("store_txn_commit", store, samples, store_iters),
+        bench_entry("fabric_transfer_hot", fabric, samples, fabric_iters),
     ];
 
     let mut scenarios = Vec::new();

@@ -113,8 +113,8 @@ fn run_host(metric: Metric, params: &OsuParams, runs: u32, seed: u64) -> ModeSam
     );
     fabric.attach(NicAddr(1));
     fabric.attach(NicAddr(2));
-    fabric.grant_vni(NicAddr(1), Vni::GLOBAL);
-    fabric.grant_vni(NicAddr(2), Vni::GLOBAL);
+    fabric.grant_vni(NicAddr(1), Vni::GLOBAL).unwrap();
+    fabric.grant_vni(NicAddr(2), Vni::GLOBAL).unwrap();
     let ra = host_a.credentials(Pid(1)).expect("init");
     let rb = host_b.credentials(Pid(1)).expect("init");
     dev_a.alloc_svc(&ra, CxiServiceDesc::default_service()).expect("svc");

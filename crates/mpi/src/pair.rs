@@ -169,8 +169,8 @@ pub(crate) mod tests {
         );
         fabric.attach(NicAddr(1));
         fabric.attach(NicAddr(2));
-        fabric.grant_vni(NicAddr(1), Vni::GLOBAL);
-        fabric.grant_vni(NicAddr(2), Vni::GLOBAL);
+        fabric.grant_vni(NicAddr(1), Vni::GLOBAL).unwrap();
+        fabric.grant_vni(NicAddr(2), Vni::GLOBAL).unwrap();
         let ra = host_a.credentials(Pid(1)).unwrap();
         let rb = host_b.credentials(Pid(1)).unwrap();
         dev_a.alloc_svc(&ra, CxiServiceDesc::default_service()).unwrap();

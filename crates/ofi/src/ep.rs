@@ -371,8 +371,8 @@ mod tests {
         );
         fabric.attach(NicAddr(1));
         fabric.attach(NicAddr(2));
-        fabric.grant_vni(NicAddr(1), Vni::GLOBAL);
-        fabric.grant_vni(NicAddr(2), Vni::GLOBAL);
+        fabric.grant_vni(NicAddr(1), Vni::GLOBAL).unwrap();
+        fabric.grant_vni(NicAddr(2), Vni::GLOBAL).unwrap();
         let root = host.credentials(Pid(1)).unwrap();
         dev_a.alloc_svc(&root, CxiServiceDesc::default_service()).unwrap();
         dev_b.alloc_svc(&root, CxiServiceDesc::default_service()).unwrap();

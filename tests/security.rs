@@ -101,11 +101,11 @@ fn fabric_enforces_vni_on_both_ports() {
     let (a, b) = (NicAddr(1), NicAddr(2));
     fabric.attach(a);
     fabric.attach(b);
-    fabric.grant_vni(a, Vni(5));
+    fabric.grant_vni(a, Vni(5)).unwrap();
     // b is NOT granted VNI 5.
     let out = fabric.transfer(SimTime::ZERO, a, b, Vni(5), TrafficClass::Dedicated, 64, 1);
     assert!(matches!(out, TransferOutcome::Dropped(_)));
-    fabric.grant_vni(b, Vni(5));
+    fabric.grant_vni(b, Vni(5)).unwrap();
     let out = fabric.transfer(SimTime::ZERO, a, b, Vni(5), TrafficClass::Dedicated, 64, 2);
     assert!(matches!(out, TransferOutcome::Delivered { .. }));
 }

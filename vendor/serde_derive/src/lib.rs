@@ -5,10 +5,12 @@
 //! shapes used in this repository: structs with named fields, tuple
 //! structs, and enums with unit / newtype / tuple / struct variants,
 //! plus the field attributes `#[serde(default)]`,
-//! `#[serde(default = "path")]`, `#[serde(rename = "name")]` and
-//! `#[serde(flatten)]` (flatten is map-typed catch-all only, as in the
-//! CNI spec types). Generated impls target the value-tree model of the
-//! vendored `serde` crate.
+//! `#[serde(default = "path")]`, `#[serde(rename = "name")]`,
+//! `#[serde(skip_serializing_if = "path")]` (the key is omitted when
+//! `path(&field)` is true; pair with `default` if the type also derives
+//! `Deserialize`) and `#[serde(flatten)]` (flatten is map-typed
+//! catch-all only, as in the CNI spec types). Generated impls target
+//! the value-tree model of the vendored `serde` crate.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -34,6 +36,9 @@ struct Field {
     key: String,
     default: DefaultKind,
     flatten: bool,
+    /// `#[serde(skip_serializing_if = "path")]` — omit the key when
+    /// `path(&field)` returns true.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -183,9 +188,15 @@ fn parse_serde_attr(attr: TokenStream, field: &mut Field) {
                     field.key = unquote(&lit.to_string());
                 }
             }
+            "skip_serializing_if" if c.peek_punct('=') => {
+                c.next();
+                if let Some(TokenTree::Literal(lit)) = c.next() {
+                    field.skip_if = Some(unquote(&lit.to_string()));
+                }
+            }
             "flatten" => field.flatten = true,
             // Unknown serde attributes are ignored rather than rejected:
-            // the repo only uses the four above.
+            // the repo only uses the five above.
             _ => {}
         }
     }
@@ -224,6 +235,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             ident,
             default: DefaultKind::Required,
             flatten: false,
+            skip_if: None,
         };
         for a in attrs {
             parse_serde_attr(a, &mut field);
@@ -352,6 +364,13 @@ fn ser_named_fields(out: &mut String, fields: &[Field], access: &dyn Fn(&Field) 
             out.push_str(&format!(
                 "if let ::serde::Value::Object(__o) = ::serde::Serialize::to_json_value(&{a}) {{ \
                  for (__k, __val) in __o {{ __m.insert(__k, __val); }} }}\n"
+            ));
+        } else if let Some(skip) = &f.skip_if {
+            out.push_str(&format!(
+                "if !{skip}(&{a}) {{ \
+                 __m.insert(::std::string::String::from(\"{key}\"), \
+                 ::serde::Serialize::to_json_value(&{a})); }}\n",
+                key = f.key
             ));
         } else {
             out.push_str(&format!(
