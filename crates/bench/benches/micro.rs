@@ -11,6 +11,7 @@ use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc, SvcMember};
 use shs_des::{DetRng, SimTime};
 use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
 use shs_oslinux::{Gid, Host, NetNsId, Pid, Uid};
+use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
 use slingshot_k8s::{AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload};
 
@@ -125,6 +126,16 @@ fn bench_fabric_transfer_hot(c: &mut Criterion) {
     });
 }
 
+fn bench_osu_allreduce(c: &mut Criterion) {
+    // The collective hot path (shared with `bench-run`): one 8-rank,
+    // 64 KiB ring allreduce per iteration over a 2-group dragonfly,
+    // every chunk hop crossing the group trunk.
+    c.bench_function("osu_allreduce", |b| {
+        let mut w = OsuAllreduceWorkload::new();
+        b.iter(|| black_box(w.step()))
+    });
+}
+
 fn bench_nic_send(c: &mut Criterion) {
     c.bench_function("nic_send_small", |b| {
         let mut fabric = Fabric::new(4);
@@ -188,6 +199,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_vni_db_churn_hot,
               bench_store_commit, bench_fabric_transfer, bench_fabric_transfer_hot,
-              bench_nic_send, bench_netns_lookup, bench_switch_forward_denied
+              bench_osu_allreduce, bench_nic_send, bench_netns_lookup,
+              bench_switch_forward_denied
 }
 criterion_main!(micro);

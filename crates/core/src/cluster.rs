@@ -55,10 +55,28 @@ pub struct ClusterConfig {
     pub vni_resync: Option<SimDur>,
     /// Fabric shape. `None` (the default) is the legacy single switch
     /// with `nodes + 8` edge ports; a dragonfly spec places nodes onto
-    /// topology switches round-robin (node *i* on switch *i* mod
-    /// switches), so cross-switch and cross-group contention scenarios
-    /// can be expressed.
+    /// topology switches per [`ClusterConfig::placement`], so
+    /// cross-switch and cross-group contention scenarios can be
+    /// expressed.
     pub topology: Option<TopologySpec>,
+    /// How nodes map onto topology switches — the rank-placement knob
+    /// for collectives (see `COLLECTIVES.md`): round-robin skews a
+    /// job's ranks across dragonfly groups (every ring hop crosses a
+    /// trunk), packed fills each switch's edge ports first so
+    /// consecutive nodes share a group.
+    pub placement: NodePlacement,
+}
+
+/// Node → switch placement policy (topology-aware rank placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodePlacement {
+    /// Node *i* on switch *i* mod switches — ranks of a multi-node job
+    /// alternate dragonfly groups (the legacy default).
+    #[default]
+    RoundRobin,
+    /// Node *i* on switch *i* / edge_ports — consecutive nodes fill one
+    /// switch (and therefore one group) before spilling to the next.
+    Packed,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +92,7 @@ impl Default for ClusterConfig {
             nic_params: CassiniParams::default(),
             vni_resync: None,
             topology: None,
+            placement: NodePlacement::RoundRobin,
         }
     }
 }
@@ -282,7 +301,11 @@ impl Cluster {
         for i in 0..config.nodes {
             let name = format!("node{i}");
             let nic = NicAddr(i as u32 + 1);
-            fabric.attach_to(nic, SwitchId(i % switches));
+            let sw = match config.placement {
+                NodePlacement::RoundRobin => i % switches,
+                NodePlacement::Packed => i / spec.edge_ports,
+            };
+            fabric.attach_to(nic, SwitchId(sw));
             fabric.grant_vni(nic, Vni::GLOBAL).expect("node NIC just attached");
             let host = Host::new(&name);
             let mut device = CxiDevice::new(
@@ -402,12 +425,36 @@ impl Cluster {
         image: &Image,
         run_ms: Option<u64>,
     ) {
+        self.submit_job_placed(now, namespace, name, annotations, parallelism, image, run_ms, None)
+    }
+
+    /// Submit a job whose pods may only bind to the nodes named by
+    /// `pin_nodes` (indices into [`Cluster::nodes`]) — topology-aware
+    /// rank placement: pin a collective's ranks into one dragonfly
+    /// group, or deliberately skew them across groups. `None` leaves
+    /// placement to the spread-first scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_job_placed(
+        &mut self,
+        now: SimTime,
+        namespace: &str,
+        name: &str,
+        annotations: &[(&str, &str)],
+        parallelism: u32,
+        image: &Image,
+        run_ms: Option<u64>,
+        pin_nodes: Option<&[usize]>,
+    ) {
+        let node_selector = pin_nodes.map(|idxs| {
+            idxs.iter().map(|&i| self.nodes[i].inner.name.clone()).collect::<Vec<_>>()
+        });
         let spec = JobSpec {
             parallelism,
             template: PodTemplate {
                 image: image.reference.clone(),
                 run_ms,
                 userns_base: None,
+                node_selector,
             },
             ttl_seconds_after_finished: Some(0),
         };
@@ -477,6 +524,12 @@ impl Cluster {
             self.nodes[node_idx].inner.runtime.sandbox(&NodeInner::sandbox_id(pod)).ok()?;
         let pid = sandbox.containers.last().map(|c| c.pid)?;
         Some(PodHandle { node_idx, pid, netns: sandbox.netns })
+    }
+
+    /// Split-borrow every node plus the fabric (the N-rank communicator
+    /// harness builds its per-node device list from this).
+    pub fn fabric_and_nodes(&mut self) -> (&mut Fabric, &mut [Node]) {
+        (&mut self.fabric, &mut self.nodes[..])
     }
 
     /// Split-borrow two distinct nodes plus the fabric (OSU harness).
@@ -662,6 +715,31 @@ mod tests {
         let h1 = c.pod_handle("t", "osu-1").expect("pod 1 running");
         assert_ne!(h0.node_idx, h1.node_idx, "topology spread");
         assert_ne!(h0.netns, h1.netns);
+    }
+
+    #[test]
+    fn packed_placement_fills_groups_and_pinning_constrains_ranks() {
+        let mut c = Cluster::new(ClusterConfig {
+            nodes: 8,
+            topology: Some(TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 }),
+            placement: NodePlacement::Packed,
+            ..Default::default()
+        });
+        // Packed: nodes 0-3 fill switch 0 (group 0), 4-7 switch 1.
+        for (i, n) in c.nodes.iter().enumerate() {
+            let (sw, _) = c.fabric.attachment(n.inner.nic).unwrap();
+            assert_eq!(sw.0, i / 4, "node{i}");
+        }
+        // A pinned job may only land on the named nodes, even though
+        // others are less loaded.
+        c.submit_job_placed(SimTime::ZERO, "t", "pin", &[], 2, &alpine(), None, Some(&[5, 6]));
+        run_cluster(&mut c, 0, 4_000);
+        let mut got = vec![
+            c.pod_handle("t", "pin-0").expect("pod 0 running").node_idx,
+            c.pod_handle("t", "pin-1").expect("pod 1 running").node_idx,
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 6]);
     }
 
     #[test]

@@ -36,12 +36,14 @@ pub mod scenario;
 pub mod vni_db;
 pub mod workloads;
 
-pub use cluster::{alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, PodHandle};
+pub use cluster::{
+    alpine, osu_image, Cluster, ClusterConfig, Node, NodeInner, NodePlacement, PodHandle,
+};
 pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
 pub use endpoint::{EndpointCounters, EndpointHandle, EndpointRole, VniCrdSpec, VniEndpoint};
 pub use scenario::{
-    by_name, library, run_scenario, ClaimPlan, ClassTraffic, Fault, JobPlan, Scenario,
-    ScenarioReport, TrafficPattern, TrafficPlan, VniMode,
+    by_name, library, ring_allreduce_schedule, run_scenario, ClaimPlan, ClassTraffic, Fault,
+    JobPlan, JobTraffic, Scenario, ScenarioReport, TrafficPattern, TrafficPlan, VniMode,
 };
 pub use vni_db::{
     AuditEntry, VniDb, VniDbConfig, VniDbCounters, VniDbError, VniDbStats, VniOwner, VniRow,

@@ -62,6 +62,14 @@ pub enum TrafficPattern {
     /// Every rank but rank 0 sends to rank 0 — the N→1 congestion
     /// pattern that backlogs the links converging on rank 0's switch.
     Incast,
+    /// One MPI-style ring allreduce per round, decomposed into its
+    /// point-to-point chunk sends (`n − 1` reduce-scatter steps then
+    /// `n − 1` allgather steps, each rank passing a `≈ size/n` chunk to
+    /// its ring successor — the same schedule
+    /// `shs_mpi::Communicator::allreduce` executes), so every hop flows
+    /// through fabric routing, trunk WRR and per-VNI accounting.
+    /// `burst` scales the chunk count per step.
+    Allreduce,
 }
 
 /// Rank-to-rank traffic a job generates once its pods run.
@@ -102,6 +110,10 @@ pub struct JobPlan {
     pub delete_at: Option<SimTime>,
     /// Traffic the ranks exchange.
     pub traffic: Option<TrafficPlan>,
+    /// Topology-aware rank placement: restrict this job's pods to these
+    /// node indices (see [`Cluster::submit_job_placed`]). `None` leaves
+    /// placement to the spread-first scheduler.
+    pub pin_nodes: Option<Vec<usize>>,
 }
 
 /// One VNI Claim in a scenario.
@@ -207,6 +219,47 @@ pub struct ClassTraffic {
     pub max_latency_ns: u64,
 }
 
+/// Per-tenant (per-job) slice of the fabric traffic, emitted for
+/// scenarios that run collective patterns — the per-VNI accounting
+/// surface that makes placement effects (hops per message, trunk
+/// congestion drops) attributable to a tenant. Engine-side counters
+/// come from the traffic rounds; `fabric_*` fields come from the
+/// fabric's **per-VNI** counters, so for jobs holding a dedicated VNI
+/// the two views reconcile exactly. Caveat: the fabric counts per VNI,
+/// not per job — jobs that share a claim VNI (or reuse a
+/// quarantine-expired VNI within one horizon) each report the combined
+/// fabric totals for that VNI, while their engine-side counters stay
+/// per-job. Collective scenarios comparing `fabric_*` across tenants
+/// should give each tenant a dedicated VNI, as the library ones do.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct JobTraffic {
+    /// `tenant/name`.
+    pub job: String,
+    /// The VNI the job's ranks authenticated with (absent if the job
+    /// never completed a traffic round).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub vni: Option<u16>,
+    /// Authorized sends by this job's ranks.
+    pub sends: u64,
+    /// Messages delivered end to end.
+    pub delivered: u64,
+    /// Messages the fabric dropped (any reason).
+    pub dropped: u64,
+    /// Delivered payload bytes.
+    pub payload_bytes: u64,
+    /// Mean delivery latency (ns) over delivered messages.
+    pub mean_latency_ns: u64,
+    /// Worst delivery latency (ns).
+    pub max_latency_ns: u64,
+    /// Total switch hops of this tenant's delivered messages, from the
+    /// fabric's per-VNI counters (1 per message on a single switch; 2+
+    /// when routes cross trunks — the placement-skew signal).
+    pub fabric_switch_hops: u64,
+    /// This tenant's messages dropped by trunk congestion management,
+    /// from the fabric's per-VNI counters.
+    pub fabric_congestion_drops: u64,
+}
+
 /// Fabric traffic metrics (authorized rank-to-rank sends).
 #[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
 pub struct TrafficReport {
@@ -232,6 +285,10 @@ pub struct TrafficReport {
     /// multi-switch topologies.
     #[serde(skip_serializing_if = "Vec::is_empty")]
     pub by_class: Vec<ClassTraffic>,
+    /// Per-tenant traffic accounting, present only for scenarios that
+    /// run collective patterns (all other reports are unchanged).
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub by_job: Vec<JobTraffic>,
 }
 
 /// VNI Service metrics (from the endpoint counters and the database).
@@ -338,14 +395,19 @@ struct JobTrack {
     plan: JobPlan,
     started_at: Option<SimTime>,
     rounds_done: u32,
+    /// The VNI the job's ranks authenticated with, captured at the
+    /// first traffic round (the CRD is reaped at teardown, so the
+    /// end-state audit could no longer resolve it).
+    vni_seen: Option<Vni>,
 }
 
-/// Per-class slice of the raw counters, in `TrafficClass::index` order.
+/// Per-class (and per-job) slice of the raw counters.
 #[derive(Default, Clone, Copy)]
 struct ClassAgg {
     sends: u64,
     delivered: u64,
     dropped: u64,
+    bytes: u64,
     lat_sum_ns: u64,
     lat_max_ns: u64,
 }
@@ -365,6 +427,8 @@ struct Raw {
     cross_denied: u64,
     cross_deliveries: u64,
     class: [ClassAgg; 4],
+    /// Per-job slices of the same counters, in plan order.
+    per_job: Vec<ClassAgg>,
 }
 
 struct World {
@@ -421,9 +485,11 @@ fn tick_ev(sim: &mut Sim<World>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn send_authorized(
     w: &mut World,
     now: SimTime,
+    ji: usize,
     src: PodHandle,
     dst: PodHandle,
     vni: Vni,
@@ -440,8 +506,8 @@ fn send_authorized(
         return;
     }
     w.m.authorized_sends += 1;
-    let agg = &mut w.m.class[tc.index()];
-    agg.sends += 1;
+    w.m.class[tc.index()].sends += 1;
+    w.m.per_job[ji].sends += 1;
     let src_nic = sn.inner.nic;
     let dst_nic = nodes[dst.node_idx].inner.nic;
     match fabric.transfer(now, src_nic, dst_nic, vni, tc, size, id) {
@@ -451,14 +517,17 @@ fn send_authorized(
             let lat = (arrival - now).as_nanos();
             w.m.lat_sum_ns += lat;
             w.m.lat_max_ns = w.m.lat_max_ns.max(lat);
-            let agg = &mut w.m.class[tc.index()];
-            agg.delivered += 1;
-            agg.lat_sum_ns += lat;
-            agg.lat_max_ns = agg.lat_max_ns.max(lat);
+            for agg in [&mut w.m.class[tc.index()], &mut w.m.per_job[ji]] {
+                agg.delivered += 1;
+                agg.bytes += size;
+                agg.lat_sum_ns += lat;
+                agg.lat_max_ns = agg.lat_max_ns.max(lat);
+            }
         }
         TransferOutcome::Dropped(_) => {
             w.m.dropped += 1;
             w.m.class[tc.index()].dropped += 1;
+            w.m.per_job[ji].dropped += 1;
         }
     }
 }
@@ -519,13 +588,16 @@ fn traffic_round(sim: &mut Sim<World>, ji: usize) {
         match (handles.len() == ranks as usize, vni) {
             (true, Some(vni)) => {
                 w.m.rounds += 1;
+                w.jobs[ji].vni_seen = Some(vni);
                 if handles.len() >= 2 {
                     match tp.pattern {
                         TrafficPattern::Ring => {
                             for i in 0..handles.len() {
                                 let dst = handles[(i + 1) % handles.len()];
                                 for _ in 0..tp.burst.max(1) {
-                                    send_authorized(w, now, handles[i], dst, vni, tp.size, tp.tc);
+                                    send_authorized(
+                                        w, now, ji, handles[i], dst, vni, tp.size, tp.tc,
+                                    );
                                 }
                             }
                         }
@@ -533,8 +605,20 @@ fn traffic_round(sim: &mut Sim<World>, ji: usize) {
                             for i in 1..handles.len() {
                                 for _ in 0..tp.burst.max(1) {
                                     send_authorized(
-                                        w, now, handles[i], handles[0], vni, tp.size, tp.tc,
+                                        w, now, ji, handles[i], handles[0], vni, tp.size, tp.tc,
                                     );
+                                }
+                            }
+                        }
+                        TrafficPattern::Allreduce => {
+                            for step in ring_allreduce_schedule(handles.len(), tp.size) {
+                                for (src, dst, len) in step {
+                                    for _ in 0..tp.burst.max(1) {
+                                        send_authorized(
+                                            w, now, ji, handles[src], handles[dst], vni, len,
+                                            tp.tc,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -553,6 +637,39 @@ fn traffic_round(sim: &mut Sim<World>, ji: usize) {
     if !complete && !past_delete && now + tp.interval <= horizon {
         sim.after(tp.interval, move |s| traffic_round(s, ji));
     }
+}
+
+/// The ring-allreduce schedule [`TrafficPattern::Allreduce`] executes:
+/// one inner `Vec` of `(src rank, dst rank, chunk bytes)` per step —
+/// `n−1` reduce-scatter steps then `n−1` allgather steps, chunks split
+/// at byte boundaries `⌊i·size/n⌋`.
+///
+/// This deliberately **mirrors** `shs_mpi::ring_allreduce_schedule`
+/// (this crate sits below `shs-mpi` in the dependency layering, so the
+/// code cannot be shared); a test in `shs-harness`, which depends on
+/// both, pins the two schedules byte-for-byte.
+pub fn ring_allreduce_schedule(n: usize, size: u64) -> Vec<Vec<(usize, usize, u64)>> {
+    let chunk = |idx: usize| -> u64 {
+        let (n, idx) = (n as u64, (idx % n) as u64);
+        (idx + 1) * size / n - idx * size / n
+    };
+    let mut steps = Vec::with_capacity(2 * (n.saturating_sub(1)));
+    for phase in 0..2usize {
+        for s in 0..n - 1 {
+            steps.push(
+                (0..n)
+                    .map(|i| {
+                        let idx = match phase {
+                            0 => (i + n - s) % n,
+                            _ => (i + 1 + n - s) % n,
+                        };
+                        (i, (i + 1) % n, chunk(idx))
+                    })
+                    .collect(),
+            );
+        }
+    }
+    steps
 }
 
 fn drain_ev(sim: &mut Sim<World>, node_idx: usize) {
@@ -589,9 +706,17 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         jobs: scenario
             .jobs
             .iter()
-            .map(|p| JobTrack { plan: p.clone(), started_at: None, rounds_done: 0 })
+            .map(|p| JobTrack {
+                plan: p.clone(),
+                started_at: None,
+                rounds_done: 0,
+                vni_seen: None,
+            })
             .collect(),
-        m: Raw::default(),
+        m: Raw {
+            per_job: vec![ClassAgg::default(); scenario.jobs.len()],
+            ..Default::default()
+        },
         msg_id: 0,
         drained: Vec::new(),
     };
@@ -616,7 +741,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             let ann = annotations(&p.vni);
             let ann_refs: Vec<(&str, &str)> =
                 ann.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
-            s.world.cluster.submit_job(
+            s.world.cluster.submit_job_placed(
                 now,
                 &p.tenant,
                 &p.name,
@@ -624,6 +749,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
                 p.ranks,
                 &alpine(),
                 p.run_ms,
+                p.pin_nodes.as_deref(),
             );
             if let Some(tp) = &p.traffic {
                 s.after(tp.interval, move |s2| traffic_round(s2, ji));
@@ -800,6 +926,37 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         Vec::new()
     };
 
+    // Per-tenant accounting: only collective scenarios carry it, so the
+    // pre-collective report library stays byte-identical.
+    let collective = scenario
+        .jobs
+        .iter()
+        .any(|j| j.traffic.is_some_and(|t| t.pattern == TrafficPattern::Allreduce));
+    let by_job = if collective {
+        w.jobs
+            .iter()
+            .enumerate()
+            .map(|(ji, t)| {
+                let agg = &w.m.per_job[ji];
+                let fab = t.vni_seen.map(|v| w.cluster.fabric.traffic(v)).unwrap_or_default();
+                JobTraffic {
+                    job: format!("{}/{}", t.plan.tenant, t.plan.name),
+                    vni: t.vni_seen.map(|v| v.0),
+                    sends: agg.sends,
+                    delivered: agg.delivered,
+                    dropped: agg.dropped,
+                    payload_bytes: agg.bytes,
+                    mean_latency_ns: agg.lat_sum_ns.checked_div(agg.delivered).unwrap_or(0),
+                    max_latency_ns: agg.lat_max_ns,
+                    fabric_switch_hops: fab.switch_hops,
+                    fabric_congestion_drops: fab.congestion_drops,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let traffic_expected =
         scenario.jobs.iter().any(|j| j.traffic.is_some() && j.ranks >= 2);
     let mut report = ScenarioReport {
@@ -827,6 +984,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             max_latency_ns: w.m.lat_max_ns,
             payload_bytes: w.m.payload_bytes,
             by_class,
+            by_job,
         },
         vni: VniReport {
             acquisitions: counters.acquisitions,
@@ -863,6 +1021,7 @@ fn job(tenant: &str, name: &str, ranks: u32, arrival_ms: u64, vni: VniMode) -> J
         vni,
         delete_at: None,
         traffic: None,
+        pin_nodes: None,
     }
 }
 
@@ -1144,6 +1303,117 @@ pub fn incast(seed: u64) -> Scenario {
     }
 }
 
+/// A tenant's 8-rank ring allreduce — every hop crossing the 2-group
+/// trunk (round-robin placement alternates groups) — while a bulk-class
+/// tenant bursts megabyte messages over the same group link: WRR trunk
+/// scheduling must keep the collective's slowdown bounded and
+/// congestion management must clip only the bulk class, with zero
+/// cross-tenant leakage under the standing adversarial probes.
+pub fn collective_noisy_neighbor(seed: u64) -> Scenario {
+    // 10 nodes round-robined over 2 groups: the collective's 8 ranks
+    // pin to nodes 0-7 (alternating groups, so every ring hop crosses
+    // the trunk), the bulk pair to the two leftover nodes 8/9 (one per
+    // group, so its burst rides the same trunk).
+    let mut coll = job("hpc", "allreduce", 8, 500, VniMode::Dedicated);
+    coll.delete_at = Some(ms(30_000));
+    coll.pin_nodes = Some((0..8).collect());
+    coll.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 16,
+        tc: TrafficClass::LowLatency,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    // A 500 ms cadence from a 1 s arrival makes every other bulk round
+    // land exactly on a collective round instant, so the two tenants
+    // genuinely contend for the trunk there: WRR stretches the bulk
+    // class 5x ((8+2)/2) while the collective is active, which backlogs
+    // the staggered burst past the 100 µs trunk queue bound — the
+    // clipping is visible as bulk-only congestion drops.
+    let mut noisy = job("noisy", "bulk", 2, 1_000, VniMode::Dedicated);
+    noisy.delete_at = Some(ms(30_000));
+    noisy.pin_nodes = Some(vec![8, 9]);
+    noisy.traffic = Some(TrafficPlan {
+        rounds: 24,
+        interval: SimDur::from_millis(500),
+        size: 1 << 20,
+        tc: TrafficClass::BulkData,
+        burst: 8,
+        pattern: TrafficPattern::Ring,
+    });
+    Scenario {
+        name: "collective-noisy-neighbor".into(),
+        description: "8-rank cross-group allreduce under a bulk burst on the group trunk; \
+                      WRR must bound the collective's slowdown, congestion management may \
+                      clip only the bulk class"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 10,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![coll, noisy],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// Placement skew vs. packed placement for the same 4-rank allreduce:
+/// one tenant's ranks alternate dragonfly groups (every ring hop
+/// crosses the trunk, two uplinks converge per trunk direction), the
+/// other's pack into one group (pure intra-switch). The per-tenant
+/// report must show the hop inflation (2 hops/message vs 1) and the
+/// congestion drops only the skewed tenant takes.
+pub fn cross_group_allreduce(seed: u64) -> Scenario {
+    // 12 nodes round-robined over 2 groups: even nodes in group 0, odd
+    // in group 1. The skewed tenant pins nodes 0-3 (ranks alternate
+    // groups); the packed tenant pins four even nodes (all group 0).
+    let mut skewed = job("skew", "wide", 4, 500, VniMode::Dedicated);
+    skewed.delete_at = Some(ms(30_000));
+    skewed.pin_nodes = Some(vec![0, 1, 2, 3]);
+    skewed.traffic = Some(TrafficPlan {
+        rounds: 8,
+        interval: SimDur::from_millis(1_000),
+        size: 4 << 20,
+        tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    let mut packed = job("pack", "tight", 4, 1_000, VniMode::Dedicated);
+    packed.delete_at = Some(ms(30_000));
+    packed.pin_nodes = Some(vec![4, 6, 8, 10]);
+    packed.traffic = Some(TrafficPlan {
+        rounds: 8,
+        interval: SimDur::from_millis(1_000),
+        size: 4 << 20,
+        tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    Scenario {
+        name: "cross-group-allreduce".into(),
+        description: "the same 4-rank allreduce placed skewed across groups vs packed into \
+                      one; per-tenant accounting must show the hop and congestion-drop \
+                      deltas"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 12,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![skewed, packed],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
 /// The named scenario library executed by `scenario-run`.
 pub fn library(seed: u64) -> Vec<Scenario> {
     vec![
@@ -1154,6 +1424,8 @@ pub fn library(seed: u64) -> Vec<Scenario> {
         oversubscribed(seed),
         noisy_neighbor(seed),
         incast(seed),
+        collective_noisy_neighbor(seed),
+        cross_group_allreduce(seed),
     ]
 }
 
@@ -1224,15 +1496,17 @@ mod tests {
     }
 
     #[test]
-    fn library_has_seven_distinct_scenarios() {
+    fn library_has_nine_distinct_scenarios() {
         let lib = library(1);
-        assert_eq!(lib.len(), 7);
+        assert_eq!(lib.len(), 9);
         let names: std::collections::BTreeSet<_> =
             lib.iter().map(|s| s.name.clone()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 9);
         assert!(by_name("churn", 1).is_some());
         assert!(by_name("noisy-neighbor", 1).is_some());
         assert!(by_name("incast", 1).is_some());
+        assert!(by_name("collective-noisy-neighbor", 1).is_some());
+        assert!(by_name("cross-group-allreduce", 1).is_some());
         assert!(by_name("nope", 1).is_none());
     }
 }

@@ -20,7 +20,10 @@
 //!   VNIs stay allocated while one tenant churns through the remainder,
 //!   the clock advancing past the 30 s quarantine each cycle;
 //! * `store_txn_commit` — a single-put ACID transaction (WAL append +
-//!   fsync + apply), the floor under every VniDb operation.
+//!   fsync + apply), the floor under every VniDb operation;
+//! * `osu_allreduce` — one 8-rank, 64 KiB ring allreduce over a 2-group
+//!   dragonfly (every hop crossing the group trunk), the collective
+//!   hot path of the `shs_mpi::Communicator`.
 //!
 //! Scenarios (`churn`, `steady-state`) run once under the DES clock;
 //! their event counts are deterministic, their wall-clock is not.
@@ -29,6 +32,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use serde_json::{json, Value};
+use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
 use slingshot_k8s::{
     by_name, run_scenario, AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload,
@@ -144,6 +148,19 @@ fn bench_fabric_transfer_hot(samples: usize, iters: u64) -> f64 {
     })
 }
 
+/// One 8-rank, 64 KiB ring allreduce across the 2-group dragonfly per
+/// op — the `osu_allreduce` collective hot path, shared with the
+/// Criterion `micro` target (see
+/// `shs_harness::collective::OsuAllreduceWorkload`).
+fn bench_osu_allreduce(samples: usize, iters: u64) -> f64 {
+    let mut w = OsuAllreduceWorkload::new();
+    let med = measure(samples, iters, || {
+        w.step();
+    });
+    assert_eq!(w.lost(), 0, "the benchmark rig must stay lossless");
+    med
+}
+
 fn bench_store_commit(samples: usize, iters: u64) -> f64 {
     let mut store = Store::new(StoreConfig { snapshot_every: None });
     let mut i = 0u64;
@@ -217,12 +234,16 @@ fn main() {
     eprintln!("bench-run: timing fabric_transfer_hot ...");
     let fabric_iters = store_iters;
     let fabric = bench_fabric_transfer_hot(samples, fabric_iters);
+    eprintln!("bench-run: timing osu_allreduce ...");
+    let allreduce_iters = churn_iters;
+    let allreduce = bench_osu_allreduce(samples, allreduce_iters);
 
     let mut benchmarks = vec![
         bench_entry("vni_db_acquire_release", ar, samples, ar_iters),
         bench_entry("vni_db_churn_hot", churn, samples, churn_iters),
         bench_entry("store_txn_commit", store, samples, store_iters),
         bench_entry("fabric_transfer_hot", fabric, samples, fabric_iters),
+        bench_entry("osu_allreduce", allreduce, samples, allreduce_iters),
     ];
 
     let mut scenarios = Vec::new();

@@ -15,6 +15,7 @@
 //! records paper-vs-measured for every one.
 
 pub mod admission;
+pub mod collective;
 pub mod comm;
 pub mod output;
 pub mod report;
@@ -25,6 +26,7 @@ pub use admission::{
     median_overhead_pct, ramp_batches, run_admission, run_pattern, AdmissionRun,
     AdmissionSeries, JobRecord, JobTracker, Pattern,
 };
+pub use collective::{job_communicator, CollectiveRig, OsuAllreduceWorkload};
 pub use comm::{run_comm, CommConfig, CommResult, Metric, ModeSamples};
 pub use output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};
 pub use runmeta::{scenario_run_document, RunMetrics};

@@ -77,6 +77,7 @@ mod tests {
                 vni: VniMode::Dedicated,
                 delete_at: None,
                 traffic: None,
+                pin_nodes: None,
             }],
             faults: vec![],
             horizon: shs_des::SimTime::from_nanos(3_000_000_000),

@@ -89,6 +89,7 @@ impl JobController {
                 userns_base: spec.template.userns_base,
                 node_name: None,
                 spread_key: Some(format!("{ns}/{job_name}")),
+                node_selector: spec.template.node_selector.clone(),
                 termination_grace_period_secs: 30,
             };
             let mut pod = ApiObject::new(
@@ -143,7 +144,12 @@ mod tests {
     fn job_spec(parallelism: u32) -> JobSpec {
         JobSpec {
             parallelism,
-            template: PodTemplate { image: "alpine".into(), run_ms: Some(10), userns_base: None },
+            template: PodTemplate {
+                image: "alpine".into(),
+                run_ms: Some(10),
+                userns_base: None,
+                node_selector: None,
+            },
             ttl_seconds_after_finished: Some(0),
         }
     }

@@ -33,6 +33,11 @@ pub struct PodTemplate {
     /// Base host uid for a user-namespaced pod (`None` = host userns).
     #[serde(default)]
     pub userns_base: Option<u32>,
+    /// Node selector: when set, the scheduler only considers these
+    /// nodes (topology-aware rank placement — pinning a job's ranks
+    /// into one dragonfly group, or deliberately across groups).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub node_selector: Option<Vec<String>>,
 }
 
 /// Job spec.
@@ -71,6 +76,10 @@ pub struct PodSpec {
     /// OSU ranks on two nodes, §IV-A).
     #[serde(default)]
     pub spread_key: Option<String>,
+    /// Node selector inherited from the pod template: when set, the
+    /// scheduler binds only to one of these nodes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub node_selector: Option<Vec<String>>,
     /// Termination grace period in seconds. The CXI CNI plugin enforces
     /// ≤ 30 s for VNI-requesting pods (§III-C1).
     #[serde(default = "default_grace")]
@@ -170,6 +179,7 @@ mod tests {
                 image: "alpine".into(),
                 run_ms: Some(10),
                 userns_base: None,
+                node_selector: None,
             },
             ttl_seconds_after_finished: Some(0),
         };
@@ -199,6 +209,7 @@ mod tests {
                 userns_base: None,
                 node_name: None,
                 spread_key: None,
+                node_selector: None,
                 termination_grace_period_secs: 30,
             })
             .unwrap(),

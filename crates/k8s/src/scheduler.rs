@@ -103,9 +103,16 @@ impl Scheduler {
             }
             let spec: PodSpec = spec_of(pod);
             // Candidates with capacity, ranked by (spread count, total
-            // pods, name) for deterministic, spread-first placement.
+            // pods, name) for deterministic, spread-first placement. A
+            // node selector (topology-aware rank placement) restricts
+            // the candidate set before ranking.
             let mut best: Option<(u32, u32, &str)> = None;
             for (node, max) in &nodes {
+                if let Some(sel) = &spec.node_selector {
+                    if !sel.contains(node) {
+                        continue;
+                    }
+                }
                 let total = pods_on.get(node).copied().unwrap_or(0);
                 if total >= *max {
                     continue;
@@ -228,6 +235,26 @@ mod tests {
             .count();
         assert_eq!(bound, 2, "p1 still bound + p2 newly bound");
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn node_selector_restricts_candidates() {
+        let mut api = ApiServer::default();
+        cluster(&mut api, &[("n0", 10), ("n1", 10), ("n2", 10)]);
+        // n0 is least loaded overall, but the selector excludes it.
+        let mut p = pod("ns", "pinned", None);
+        p.spec["node_selector"] = json!(["n1", "n2"]);
+        api.create(p, SimTime::ZERO).unwrap();
+        let mut s = Scheduler::new();
+        s.poll(&mut api, SimTime::ZERO);
+        assert_eq!(bound_node(&api, "ns", "pinned").as_deref(), Some("n1"));
+        // A selector naming no schedulable node leaves the pod pending.
+        let mut q = pod("ns", "stuck", None);
+        q.spec["node_selector"] = json!(["n9"]);
+        api.create(q, SimTime::ZERO).unwrap();
+        s.poll(&mut api, SimTime::ZERO);
+        assert!(bound_node(&api, "ns", "stuck").is_none());
+        assert_eq!(s.pending(), 1);
     }
 
     #[test]

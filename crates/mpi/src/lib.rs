@@ -1,20 +1,30 @@
 //! # shs-mpi — MPI-lite and the OSU micro-benchmark clones
 //!
-//! The measurement layer of the paper's §IV-A: a two-rank MPI-style
-//! world over the libfabric layer ([`pair::RankPair`]) with blocking
-//! send/receive and barrier, plus faithful reimplementations of
-//! `osu_latency` (blocking ping-pong, half round trip) and `osu_bw`
-//! (windowed non-blocking sends + ack) from the OSU Micro-Benchmarks 7.3
-//! suite ([`osu`]).
+//! The measurement layer of the paper's §IV-A: an N-rank MPI-style
+//! world over the libfabric layer — the [`comm::Communicator`] with
+//! virtual-time-correct collectives (dissemination barrier, binomial
+//! broadcast, ring/recursive-doubling allreduce, pairwise all-to-all),
+//! plus the two-rank [`pair::RankPair`] it generalizes — and faithful
+//! reimplementations of the OSU Micro-Benchmarks 7.3 suite ([`osu`]):
+//! `osu_latency` (blocking ping-pong, half round trip), `osu_bw`
+//! (windowed non-blocking sends + ack), and the collective latency
+//! benchmarks `osu_allreduce` / `osu_bcast` / `osu_alltoall`.
 //!
 //! Ranks carry explicit virtual-time cursors, so a full 1 B..1 MB sweep
-//! is an ordinary function call — no event loop on the hot path.
+//! is an ordinary function call — no event loop on the hot path. See
+//! `COLLECTIVES.md` at the repository root for the algorithm choices,
+//! the virtual-time accounting model, and expected dragonfly scaling.
 
+pub mod comm;
 pub mod osu;
 pub mod pair;
+pub mod rig;
 
+pub use comm::{ring_allreduce_schedule, CommDevices, Communicator, RankIo, RankSite};
+pub use rig::CollectiveRig;
 pub use osu::{
-    osu_bibw_once, osu_bw_once, osu_bw_sweep, osu_latency_once, osu_latency_sweep, paper_sizes, reset_clocks,
-    OsuParams, OsuPoint,
+    osu_allreduce_once, osu_allreduce_sweep, osu_alltoall_once, osu_alltoall_sweep,
+    osu_bcast_once, osu_bcast_sweep, osu_bibw_once, osu_bw_once, osu_bw_sweep, osu_latency_once,
+    osu_latency_sweep, paper_sizes, reset_clocks, OsuParams, OsuPoint,
 };
 pub use pair::{PairDevices, RankPair};

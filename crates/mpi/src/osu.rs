@@ -1,14 +1,19 @@
-//! OSU micro-benchmark clones (§IV-A): `osu_latency` and `osu_bw`.
+//! OSU micro-benchmark clones (§IV-A): `osu_latency`, `osu_bw`, and the
+//! collective suite (`osu_allreduce` / `osu_bcast` / `osu_alltoall`).
 //!
 //! Measurement loops mirror OSU 7.3: latency is a blocking ping-pong
 //! averaged over iterations and halved; bandwidth posts a window of
 //! non-blocking sends per iteration, waits for all local completions and
-//! a zero-byte ack, and reports MB/s (MB = 1e6 bytes). The paper sweeps
+//! a zero-byte ack, and reports MB/s (MB = 1e6 bytes). Collective
+//! latency is the virtual time from a synchronized start to the instant
+//! the **slowest** rank completes, averaged over iterations — the OSU
+//! convention of reporting the max across ranks. The paper sweeps
 //! packet sizes 1 B .. 1 MB.
 
 use shs_des::SimTime;
 use shs_ofi::CompKind;
 
+use crate::comm::{CommDevices, Communicator};
 use crate::pair::{PairDevices, RankPair};
 
 /// The size sweep used in Figs. 5-8 (1 B to 1 MiB in powers of two).
@@ -252,7 +257,117 @@ pub fn osu_bw_sweep(
         .collect()
 }
 
+/// One timed collective phase: warm up untimed, synchronize the rank
+/// cursors, then time `iterations` back-to-back operations and return
+/// the mean per-operation latency in µs (max across ranks, as OSU's
+/// collective benchmarks report).
+fn osu_collective_once(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    iterations: u32,
+    warmup: u32,
+    mut op: impl FnMut(&mut Communicator, &mut CommDevices<'_>),
+) -> f64 {
+    for _ in 0..warmup {
+        op(comm, devs);
+    }
+    comm.sync_clocks();
+    let start = comm.max_clock();
+    for _ in 0..iterations {
+        op(comm, devs);
+    }
+    (comm.max_clock() - start).as_nanos() as f64 / iterations as f64 / 1000.0
+}
+
+/// `osu_allreduce`: mean allreduce latency (µs) for one message size.
+pub fn osu_allreduce_once(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+) -> f64 {
+    osu_collective_once(comm, devs, iterations, warmup, |c, d| c.allreduce(d, size))
+}
+
+/// `osu_bcast`: mean broadcast-from-rank-0 latency (µs) for one size.
+pub fn osu_bcast_once(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+) -> f64 {
+    osu_collective_once(comm, devs, iterations, warmup, |c, d| c.bcast(d, 0, size))
+}
+
+/// `osu_alltoall`: mean all-to-all latency (µs) for one per-peer size.
+pub fn osu_alltoall_once(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    size: u64,
+    iterations: u32,
+    warmup: u32,
+) -> f64 {
+    osu_collective_once(comm, devs, iterations, warmup, |c, d| c.alltoall(d, size))
+}
+
+/// Run the full `osu_allreduce` sweep.
+pub fn osu_allreduce_sweep(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    params: &OsuParams,
+) -> Vec<OsuPoint> {
+    params
+        .sizes
+        .iter()
+        .map(|&size| OsuPoint {
+            size,
+            value: osu_allreduce_once(comm, devs, size, params.iterations, params.warmup),
+        })
+        .collect()
+}
+
+/// Run the full `osu_bcast` sweep (root 0).
+pub fn osu_bcast_sweep(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    params: &OsuParams,
+) -> Vec<OsuPoint> {
+    params
+        .sizes
+        .iter()
+        .map(|&size| OsuPoint {
+            size,
+            value: osu_bcast_once(comm, devs, size, params.iterations, params.warmup),
+        })
+        .collect()
+}
+
+/// Run the full `osu_alltoall` sweep.
+pub fn osu_alltoall_sweep(
+    comm: &mut Communicator,
+    devs: &mut CommDevices<'_>,
+    params: &OsuParams,
+) -> Vec<OsuPoint> {
+    params
+        .sizes
+        .iter()
+        .map(|&size| OsuPoint {
+            size,
+            value: osu_alltoall_once(comm, devs, size, params.iterations, params.warmup),
+        })
+        .collect()
+}
+
 /// Reset rank clocks between runs (the OSU binary restarts per run).
+///
+/// **Invariant (audited for concurrent `cargo test`):** every clock in
+/// this crate is value-local — the two cursors live inside the
+/// [`RankPair`], an N-rank communicator owns its own cursor vector
+/// ([`Communicator::reset_clocks`]), and there are no statics or
+/// thread-locals anywhere in `shs-mpi` — so resetting one world can
+/// never interleave with another running on a different test thread.
 pub fn reset_clocks(pair: &mut RankPair, at: SimTime) {
     pair.t_a = at;
     pair.t_b = at;

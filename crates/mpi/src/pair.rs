@@ -1,17 +1,23 @@
-//! A two-rank MPI-lite world over the libfabric layer.
+//! A two-rank MPI-lite world over the libfabric layer — now a thin
+//! wrapper over the shared point-to-point primitives of
+//! [`crate::comm`].
 //!
 //! Each rank carries its own virtual-time cursor; blocking MPI semantics
 //! (send returns at local completion, receive returns at delivery) are
 //! expressed by advancing the cursors to completion instants. The paper's
-//! point-to-point OSU benchmarks only ever involve two ranks.
+//! point-to-point OSU benchmarks only ever involve two ranks; N-rank
+//! collectives live in [`crate::comm::Communicator`].
 
 use shs_cxi::CxiDevice;
 use shs_des::SimTime;
 use shs_fabric::{Fabric, TrafficClass, Vni};
-use shs_ofi::{CompKind, OfiEp, OfiError};
+use shs_ofi::{OfiEp, OfiError};
 use shs_oslinux::{Host, Pid};
 
-/// Mutable borrows of the node devices + fabric a pair communicates over.
+use crate::comm::{blocking_recv, blocking_send, CommDevices};
+
+/// Mutable borrows of the node devices + fabric a pair communicates over
+/// — the two-rank view of [`CommDevices`].
 pub struct PairDevices<'a> {
     /// Rank 0's CXI device.
     pub dev_a: &'a mut CxiDevice,
@@ -27,6 +33,16 @@ impl PairDevices<'_> {
     pub fn new_run(&mut self) {
         self.dev_a.nic.new_run();
         self.dev_b.nic.new_run();
+    }
+
+    /// Reborrow as the N-rank [`CommDevices`] view (node 0 = rank 0's
+    /// device, node 1 = rank 1's), for running collectives over the
+    /// same two nodes.
+    pub fn as_comm(&mut self) -> CommDevices<'_> {
+        CommDevices {
+            devs: vec![&mut *self.dev_a, &mut *self.dev_b],
+            fabric: &mut *self.fabric,
+        }
     }
 }
 
@@ -64,57 +80,35 @@ impl RankPair {
     }
 
     /// Blocking send from rank 0 to rank 1 (returns at rank-0 local
-    /// completion; delivers into rank 1's matching engine).
+    /// completion; delivers into rank 1's matching engine). Thin
+    /// wrapper over the shared [`crate::comm`] primitive.
     pub fn send_a_to_b(&mut self, devs: &mut PairDevices<'_>, tag: u64, len: u64) {
-        let (t, msg) = self.a.tsend(self.t_a, devs.dev_a, devs.fabric, self.b.addr, tag, len, tag);
-        self.t_a = t;
-        if let Some(msg) = msg {
-            self.b.deliver(devs.dev_b, msg);
-        }
-        // MPI_Send: block until the local completion.
-        if let Some((t, c)) = self.a.cq_wait(self.t_a) {
-            debug_assert_eq!(c.kind, CompKind::Send);
-            self.t_a = t;
-        }
+        self.t_a = blocking_send(
+            &mut self.a, devs.dev_a, devs.fabric, self.t_a, &mut self.b, devs.dev_b, tag, len,
+        );
     }
 
     /// Blocking send from rank 1 to rank 0.
     pub fn send_b_to_a(&mut self, devs: &mut PairDevices<'_>, tag: u64, len: u64) {
-        let (t, msg) = self.b.tsend(self.t_b, devs.dev_b, devs.fabric, self.a.addr, tag, len, tag);
-        self.t_b = t;
-        if let Some(msg) = msg {
-            self.a.deliver(devs.dev_a, msg);
-        }
-        if let Some((t, c)) = self.b.cq_wait(self.t_b) {
-            debug_assert_eq!(c.kind, CompKind::Send);
-            self.t_b = t;
-        }
+        self.t_b = blocking_send(
+            &mut self.b, devs.dev_b, devs.fabric, self.t_b, &mut self.a, devs.dev_a, tag, len,
+        );
     }
 
     /// Blocking receive on rank 1 (posts, then waits for the matching
-    /// completion). Panics if nothing ever arrives — a hang, which in
+    /// completion). Returns `false` if nothing ever arrives — which in
     /// tests indicates a (correctly) enforced isolation drop.
     pub fn recv_on_b(&mut self, tag: u64) -> bool {
-        self.t_b = self.b.trecv(self.t_b, tag, 0, tag);
-        match self.b.cq_wait(self.t_b) {
-            Some((t, c)) if c.kind == CompKind::Recv => {
-                self.t_b = t;
-                true
-            }
-            _ => false,
-        }
+        let (t, ok) = blocking_recv(&mut self.b, self.t_b, tag);
+        self.t_b = t;
+        ok
     }
 
     /// Blocking receive on rank 0.
     pub fn recv_on_a(&mut self, tag: u64) -> bool {
-        self.t_a = self.a.trecv(self.t_a, tag, 0, tag);
-        match self.a.cq_wait(self.t_a) {
-            Some((t, c)) if c.kind == CompKind::Recv => {
-                self.t_a = t;
-                true
-            }
-            _ => false,
-        }
+        let (t, ok) = blocking_recv(&mut self.a, self.t_a, tag);
+        self.t_a = t;
+        ok
     }
 
     /// Zero-byte barrier (ping + pong), synchronizing the two clocks.

@@ -330,6 +330,60 @@ fn matches_tag(incoming: u64, posted: u64, ignore: u64) -> bool {
     (incoming ^ posted) & !ignore == 0
 }
 
+/// Open one endpoint per process on a single device — the multi-rank
+/// bring-up path (an N-rank communicator opening several ranks on the
+/// same node). Every open runs the full authenticated CXI path; on the
+/// first failure all endpoints already opened by this call are closed
+/// again, so a partial bring-up never leaks NIC resources.
+///
+/// Returned endpoints are in `pids` order.
+///
+/// ```
+/// use shs_cassini::{CassiniNic, CassiniParams};
+/// use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc};
+/// use shs_des::DetRng;
+/// use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
+/// use shs_ofi::open_many;
+/// use shs_oslinux::{Gid, Host, Pid, Uid};
+///
+/// let mut host = Host::new("n0");
+/// let mut dev = CxiDevice::new(
+///     CxiDriver::extended(),
+///     CassiniNic::new(NicAddr(1), CassiniParams::default(), DetRng::new(1)),
+/// );
+/// let root = host.credentials(Pid(1)).unwrap();
+/// dev.alloc_svc(&root, CxiServiceDesc::default_service()).unwrap();
+/// let r0 = host.spawn_detached("rank0", Uid(1000), Gid(1000));
+/// let r1 = host.spawn_detached("rank1", Uid(1000), Gid(1000));
+/// let eps = open_many(&host, &mut dev, &[r0, r1], Vni::GLOBAL,
+///                     TrafficClass::Dedicated).unwrap();
+/// assert_eq!(eps.len(), 2);
+/// for ep in eps {
+///     ep.close(&mut dev).unwrap();
+/// }
+/// ```
+pub fn open_many(
+    host: &Host,
+    device: &mut CxiDevice,
+    pids: &[Pid],
+    vni: Vni,
+    tc: TrafficClass,
+) -> Result<Vec<OfiEp>, OfiError> {
+    let mut eps = Vec::with_capacity(pids.len());
+    for &pid in pids {
+        match OfiEp::open(host, device, pid, vni, tc) {
+            Ok(ep) => eps.push(ep),
+            Err(e) => {
+                for ep in eps {
+                    let _ = ep.close(device);
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(eps)
+}
+
 /// A message in flight between two endpoints.
 #[derive(Debug, Clone)]
 pub struct WireMessage {

@@ -15,6 +15,6 @@ pub mod ep;
 pub mod info;
 pub mod rma;
 
-pub use ep::{CompKind, Completion, OfiEp, OfiError, OfiParams, PeerAddr, WireMessage};
+pub use ep::{open_many, CompKind, Completion, OfiEp, OfiError, OfiParams, PeerAddr, WireMessage};
 pub use info::{fi_getinfo, FiInfo};
 pub use rma::{register_mr, rma_read, rma_write, RmaOutcome};

@@ -107,4 +107,50 @@ fn scenarios_exercise_their_designed_pressure() {
     assert_eq!(fanin.dropped, fanin.congestion_drops, "all bulk drops are congestion");
     assert_eq!(probe.congestion_drops, 0, "low-latency class spared");
     assert!(fanin.delivered > 0, "congestion management clips, not starves");
+
+    // The collective scenarios carry per-tenant fabric accounting.
+    let jt = |r: &slingshot_k8s::ScenarioReport, name: &str| {
+        r.traffic
+            .by_job
+            .iter()
+            .find(|j| j.job == name)
+            .unwrap_or_else(|| panic!("{}: job {name} missing from by_job", r.scenario))
+            .clone()
+    };
+
+    let cnn = &by["collective-noisy-neighbor"];
+    let victim = jt(cnn, "hpc/allreduce");
+    let bulk = jt(cnn, "noisy/bulk");
+    // The 8-rank allreduce really crossed the group trunk on every ring
+    // hop (2 switches per delivered message) with full per-tenant VNI
+    // accounting, and the bulk burst could not slow it meaningfully:
+    // bounded slowdown, zero loss, zero cross-tenant leakage.
+    assert_eq!(victim.fabric_switch_hops, 2 * victim.delivered);
+    assert_eq!(victim.sends, victim.delivered, "collective loses nothing");
+    assert_eq!(victim.fabric_congestion_drops, 0);
+    assert!(
+        victim.max_latency_ns < 25_000,
+        "collective slowdown unbounded: {} ns",
+        victim.max_latency_ns
+    );
+    // WRR clips the bulk class instead: it queues for tens of µs on the
+    // trunk and loses part of its burst to congestion management.
+    assert!(bulk.fabric_congestion_drops > 0, "bulk burst must be clipped");
+    assert_eq!(bulk.dropped, bulk.fabric_congestion_drops);
+    assert!(bulk.max_latency_ns > 10 * victim.max_latency_ns);
+    assert_eq!(cnn.isolation.cross_tenant_attempts, cnn.isolation.cross_tenant_denied);
+
+    let cga = &by["cross-group-allreduce"];
+    let skew = jt(cga, "skew/wide");
+    let pack = jt(cga, "pack/tight");
+    // Hop delta: the packed tenant's allreduce never leaves its switch
+    // (1 hop/message); the skewed tenant pays 2 switches on every hop.
+    assert_eq!(pack.fabric_switch_hops, pack.delivered);
+    assert_eq!(skew.fabric_switch_hops, 2 * skew.delivered);
+    // Congestion-drop delta: only the skewed tenant's converging
+    // uplinks overflow the trunk queue.
+    assert!(skew.fabric_congestion_drops > 0, "skewed placement must congest the trunk");
+    assert_eq!(skew.dropped, skew.fabric_congestion_drops);
+    assert_eq!(pack.fabric_congestion_drops, 0);
+    assert_eq!(pack.sends, pack.delivered, "packed placement loses nothing");
 }

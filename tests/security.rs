@@ -157,6 +157,7 @@ fn grace_period_bound_is_enforced() {
         userns_base: None,
         node_name: Some("n0".into()),
         spread_key: None,
+        node_selector: None,
         termination_grace_period_secs: 60, // too long
     };
     let mut pod =
