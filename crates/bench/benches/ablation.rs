@@ -61,7 +61,7 @@ fn bench_store_recovery_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_recovery");
     for (name, snapshot_every) in [("wal_only", None), ("snapshot_64", Some(64u64))] {
         group.bench_function(name, |b| {
-            let mut store = Store::new(StoreConfig { snapshot_every });
+            let mut store = Store::new(StoreConfig { snapshot_every, ..Default::default() });
             for i in 0..512u32 {
                 let mut txn = store.begin();
                 txn.put("vnis", &i.to_be_bytes(), &i.to_le_bytes());

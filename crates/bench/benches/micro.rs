@@ -77,7 +77,7 @@ fn bench_vni_db_churn_hot(c: &mut Criterion) {
 
 fn bench_store_commit(c: &mut Criterion) {
     c.bench_function("store_txn_commit", |b| {
-        let mut store = Store::new(StoreConfig { snapshot_every: None });
+        let mut store = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
         let mut i = 0u64;
         b.iter(|| {
             let mut txn = store.begin();

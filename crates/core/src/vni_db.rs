@@ -331,11 +331,19 @@ pub struct VniDb {
 }
 
 impl VniDb {
+    /// Store tuning for the allocator: the audit log is append-only, so
+    /// fixed-cadence snapshots re-encode an ever-growing table. Require
+    /// the WAL to grow by a full snapshot's worth of bytes between
+    /// checkpoints so snapshot cost stays amortized O(1) per commit.
+    fn store_config() -> StoreConfig {
+        StoreConfig { snapshot_wal_factor: 1, ..Default::default() }
+    }
+
     /// Fresh database.
     pub fn new(config: VniDbConfig) -> Self {
         let idx = Indexes { free: config.range.clone().collect(), ..Default::default() };
         VniDb {
-            store: Store::new(StoreConfig::default()),
+            store: Store::new(VniDb::store_config()),
             config,
             next_audit_seq: 0,
             idx,
@@ -346,7 +354,7 @@ impl VniDb {
     /// Recover a database from a crashed/persisted store image. One scan
     /// of the `vnis` table rebuilds every index.
     pub fn recover(disk: shs_vnistore::SimDisk, config: VniDbConfig) -> Self {
-        let store = Store::recover(disk, StoreConfig::default());
+        let store = Store::recover(disk, VniDb::store_config());
         let next_audit_seq = store.row_count(T_AUDIT) as u64;
         let mut idx = Indexes { free: config.range.clone().collect(), ..Default::default() };
         let q_ns = config.quarantine.as_nanos();

@@ -23,11 +23,13 @@
 //! assert_eq!(sim.now().as_nanos(), 1_100);
 //! ```
 
+pub mod calendar;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use rng::DetRng;
 pub use sim::{EventFn, Sim};
 pub use time::{SimDur, SimTime};

@@ -1,8 +1,9 @@
 //! The event-driven simulation kernel.
 //!
-//! [`Sim`] owns a user-supplied world `W` plus a priority queue of timed
+//! [`Sim`] owns a user-supplied world `W` plus a calendar queue of timed
 //! events; an event is any `FnOnce(&mut Sim<W>)`, so handlers can freely
-//! inspect the world, mutate it, and schedule follow-up events. Ties in
+//! inspect the world, mutate it, and schedule follow-up events (see
+//! [`crate::calendar`] for the queue itself). Ties in
 //! time are broken by insertion order, which keeps execution fully
 //! deterministic.
 //!
@@ -27,41 +28,11 @@
 //! assert_eq!(sim.pending(), 1, "the next tick stays queued past the horizon");
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDur, SimTime};
 
 /// A scheduled event: a boxed closure over the simulation.
 pub type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
-
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to get earliest-first, with the
-        // sequence number as a deterministic tie-break.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// Discrete-event simulator over a world `W`.
 pub struct Sim<W> {
@@ -70,7 +41,7 @@ pub struct Sim<W> {
     pub world: W,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: CalendarQueue<EventFn<W>>,
     executed: u64,
 }
 
@@ -81,7 +52,7 @@ impl<W> Sim<W> {
             world,
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             executed: 0,
         }
     }
@@ -111,7 +82,7 @@ impl<W> Sim<W> {
         let t = t.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time: t, seq, f: Box::new(f) });
+        self.queue.push(t, seq, Box::new(f));
     }
 
     /// Schedule `f` after a relative delay.
@@ -128,7 +99,7 @@ impl<W> Sim<W> {
                 debug_assert!(ev.time >= self.now);
                 self.now = ev.time;
                 self.executed += 1;
-                (ev.f)(self);
+                (ev.item)(self);
                 true
             }
             None => false,
@@ -144,10 +115,7 @@ impl<W> Sim<W> {
     /// Events scheduled exactly at the deadline still execute; the clock
     /// is advanced to the deadline if the queue empties earlier.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.time > deadline {
-                break;
-            }
+        while self.queue.next_time_at_most(deadline).is_some() {
             self.step();
         }
         if self.now < deadline {

@@ -13,8 +13,6 @@
 //! overflow is a congestion drop, counted per hop, per class, and per
 //! tenant VNI.
 
-use std::collections::BTreeMap;
-
 use shs_des::{SimDur, SimTime};
 
 use crate::packet::{CostModel, Packet};
@@ -74,7 +72,7 @@ pub enum TransferOutcome {
 /// Fabric-level traffic accounting, keyed by VNI (the granularity the
 /// fabric manager exposes to monitoring). Per-hop congestion and drop
 /// counters roll up here per tenant.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct VniTraffic {
     /// Delivered messages.
     pub messages: u64,
@@ -135,16 +133,25 @@ pub struct Fabric {
     model: CostModel,
     topo: Topology,
     switches: Vec<Switch>,
-    /// Edge-link occupancy per (switch, edge port).
-    links: BTreeMap<(usize, usize), LinkState>,
-    /// Directed trunk-link state, keyed by (from switch, to switch).
-    trunks: BTreeMap<(usize, usize), TrunkState>,
-    ports_of: BTreeMap<NicAddr, (usize, PortId)>,
+    /// Edge-link occupancy, indexed `[switch][edge port]` (rows grow on
+    /// attach; a reattached port's slot is reset to a fresh link).
+    links: Vec<Vec<LinkState>>,
+    /// Directed trunk-link state, in [`Topology::trunk_links`] order.
+    trunks: Vec<TrunkState>,
+    /// Dense `(from, to) → trunks` index (`from * n + to`), `u32::MAX`
+    /// where no trunk exists. Turns the per-hop trunk lookup into two
+    /// array indexings.
+    trunk_idx: Vec<u32>,
+    /// NIC attachment points, sorted by NIC (binary search; attach and
+    /// detach are cold, lookups are per-transfer).
+    ports_of: Vec<(NicAddr, (usize, PortId))>,
     /// Next never-used edge port per switch.
     next_port: Vec<usize>,
     /// Edge ports freed by [`Fabric::detach`], reused LIFO per switch.
     free_ports: Vec<Vec<usize>>,
-    traffic: BTreeMap<Vni, VniTraffic>,
+    /// Per-VNI counters, sorted by VNI (binary search; tenant counts are
+    /// small and reads never iterate).
+    traffic: Vec<(Vni, VniTraffic)>,
     audit: Vec<FabricAuditEvent>,
 }
 
@@ -175,23 +182,45 @@ impl Fabric {
     fn build(model: CostModel, topo: Topology, switch_config: SwitchConfig) -> Self {
         let n = topo.switch_count();
         let switches = (0..n).map(|_| Switch::new(switch_config.clone())).collect();
-        let trunks = topo
-            .trunk_links()
-            .iter()
-            .map(|&(a, b)| ((a.0, b.0), TrunkState::default()))
-            .collect();
+        let links = topo.trunk_links();
+        let mut trunk_idx = vec![u32::MAX; n * n];
+        for (i, &(a, b)) in links.iter().enumerate() {
+            trunk_idx[a.0 * n + b.0] = i as u32;
+        }
         Fabric {
             model,
             topo,
             switches,
-            links: BTreeMap::new(),
-            trunks,
-            ports_of: BTreeMap::new(),
+            links: vec![Vec::new(); n],
+            trunks: vec![TrunkState::default(); links.len()],
+            trunk_idx,
+            ports_of: Vec::new(),
             next_port: vec![0; n],
             free_ports: vec![Vec::new(); n],
-            traffic: BTreeMap::new(),
+            traffic: Vec::new(),
             audit: Vec::new(),
         }
+    }
+
+    /// Attachment point of a NIC, if attached.
+    #[inline]
+    fn lookup_nic(&self, nic: NicAddr) -> Option<(usize, PortId)> {
+        self.ports_of
+            .binary_search_by_key(&nic, |&(n, _)| n)
+            .ok()
+            .map(|i| self.ports_of[i].1)
+    }
+
+    /// Per-VNI counter slot, created zeroed on first touch.
+    fn traffic_mut(&mut self, vni: Vni) -> &mut VniTraffic {
+        let i = match self.traffic.binary_search_by_key(&vni, |&(v, _)| v) {
+            Ok(i) => i,
+            Err(i) => {
+                self.traffic.insert(i, (vni, VniTraffic::default()));
+                i
+            }
+        };
+        &mut self.traffic[i].1
     }
 
     /// The cost model in force.
@@ -243,10 +272,10 @@ impl Fabric {
     /// [`Fabric::detach`] are reused first). Panics if the switch is
     /// full or the NIC is already attached.
     pub fn attach_to(&mut self, nic: NicAddr, sw: SwitchId) -> PortId {
-        assert!(
-            !self.ports_of.contains_key(&nic),
-            "{nic} attached twice"
-        );
+        let slot = match self.ports_of.binary_search_by_key(&nic, |&(n, _)| n) {
+            Ok(_) => panic!("{nic} attached twice"),
+            Err(i) => i,
+        };
         let port = match self.free_ports[sw.0].pop() {
             Some(freed) => PortId(freed),
             None => {
@@ -256,8 +285,13 @@ impl Fabric {
             }
         };
         assert!(self.switches[sw.0].bind(port, nic), "{sw} {port} already bound");
-        self.links.insert((sw.0, port.0), LinkState::default());
-        self.ports_of.insert(nic, (sw.0, port));
+        let row = &mut self.links[sw.0];
+        if row.len() <= port.0 {
+            row.resize(port.0 + 1, LinkState::default());
+        }
+        // A reattached port starts with a fresh (idle) link.
+        row[port.0] = LinkState::default();
+        self.ports_of.insert(slot, (nic, (sw.0, port)));
         port
     }
 
@@ -265,23 +299,23 @@ impl Fabric {
     /// grants, and forget the attachment and link state. Returns whether
     /// the NIC was attached. The freed port is reused by later attaches.
     pub fn detach(&mut self, nic: NicAddr) -> bool {
-        let Some((sw, port)) = self.ports_of.remove(&nic) else {
+        let Ok(i) = self.ports_of.binary_search_by_key(&nic, |&(n, _)| n) else {
             return false;
         };
+        let (_, (sw, port)) = self.ports_of.remove(i);
         self.switches[sw].unbind(port);
-        self.links.remove(&(sw, port.0));
         self.free_ports[sw].push(port.0);
         true
     }
 
     /// Edge port a NIC is attached to (on its switch).
     pub fn port_of(&self, nic: NicAddr) -> Option<PortId> {
-        self.ports_of.get(&nic).map(|&(_, p)| p)
+        self.lookup_nic(nic).map(|(_, p)| p)
     }
 
     /// Full attachment point of a NIC: (switch, edge port).
     pub fn attachment(&self, nic: NicAddr) -> Option<(SwitchId, PortId)> {
-        self.ports_of.get(&nic).map(|&(s, p)| (SwitchId(s), p))
+        self.lookup_nic(nic).map(|(s, p)| (SwitchId(s), p))
     }
 
     /// Grant `vni` on the edge port of `nic` (fabric-manager operation
@@ -289,7 +323,7 @@ impl Fabric {
     /// on a NIC the fabric does not know is a wiring or orchestration
     /// bug and is an explicit error.
     pub fn grant_vni(&mut self, nic: NicAddr, vni: Vni) -> Result<PortId, FabricError> {
-        let &(sw, port) = self.ports_of.get(&nic).ok_or(FabricError::UnknownNic(nic))?;
+        let (sw, port) = self.lookup_nic(nic).ok_or(FabricError::UnknownNic(nic))?;
         self.switches[sw].grant_vni(port, vni);
         Ok(port)
     }
@@ -299,7 +333,7 @@ impl Fabric {
     /// (unknown NIC, never-granted VNI) are recorded in the fabric
     /// [`audit`](Fabric::audit) log.
     pub fn revoke_vni(&mut self, nic: NicAddr, vni: Vni) -> bool {
-        let Some(&(sw, port)) = self.ports_of.get(&nic) else {
+        let Some((sw, port)) = self.lookup_nic(nic) else {
             self.audit.push(FabricAuditEvent::RevokeUnknownNic { nic, vni });
             return false;
         };
@@ -312,26 +346,33 @@ impl Fabric {
 
     /// Whether the edge port of `nic` currently holds a grant for `vni`.
     pub fn nic_has_vni(&self, nic: NicAddr, vni: Vni) -> bool {
-        self.ports_of
-            .get(&nic)
-            .is_some_and(|&(sw, port)| self.switches[sw].has_vni(port, vni))
+        self.lookup_nic(nic)
+            .is_some_and(|(sw, port)| self.switches[sw].has_vni(port, vni))
     }
 
-    /// Per-VNI delivered-traffic counters.
+    /// Per-VNI delivered-traffic counters (`VniTraffic` is `Copy`; no
+    /// per-read clone).
     pub fn traffic(&self, vni: Vni) -> VniTraffic {
-        self.traffic.get(&vni).cloned().unwrap_or_default()
+        match self.traffic.binary_search_by_key(&vni, |&(v, _)| v) {
+            Ok(i) => self.traffic[i].1,
+            Err(_) => VniTraffic::default(),
+        }
     }
 
     /// Per-class counters of one directed trunk link, if it exists.
     pub fn trunk_counters(&self, from: SwitchId, to: SwitchId) -> Option<&[TrunkClassCounters; 4]> {
-        self.trunks.get(&(from.0, to.0)).map(|t| &t.counters)
+        let n = self.topo.switch_count();
+        match self.trunk_idx.get(from.0 * n + to.0) {
+            Some(&i) if i != u32::MAX => Some(&self.trunks[i as usize].counters),
+            _ => None,
+        }
     }
 
     /// Per-class counters summed over every directed trunk link, in
     /// [`TrafficClass::index`] order.
     pub fn trunk_class_totals(&self) -> [TrunkClassCounters; 4] {
         let mut out = [TrunkClassCounters::default(); 4];
-        for trunk in self.trunks.values() {
+        for trunk in self.trunks.iter() {
             for (acc, c) in out.iter_mut().zip(trunk.counters.iter()) {
                 acc.messages += c.messages;
                 acc.payload_bytes += c.payload_bytes;
@@ -358,7 +399,7 @@ impl Fabric {
         len: u64,
         msg_id: u64,
     ) -> TransferOutcome {
-        let Some(&(ssw, sport)) = self.ports_of.get(&src) else {
+        let Some((ssw, sport)) = self.lookup_nic(src) else {
             return TransferOutcome::Dropped(DropReason::NoRoute);
         };
         // Representative head packet carries the routing/enforcement fields.
@@ -376,7 +417,7 @@ impl Fabric {
         if let Some(reason) = self.switches[ssw].admit(sport, &head) {
             return TransferOutcome::Dropped(reason);
         }
-        let Some(&(dsw, dport)) = self.ports_of.get(&dst) else {
+        let Some((dsw, dport)) = self.lookup_nic(dst) else {
             return TransferOutcome::Dropped(self.switches[ssw].note_drop(DropReason::NoRoute));
         };
         // The destination switch's routing table stays authoritative: a
@@ -396,7 +437,7 @@ impl Fabric {
         let hop = SimDur::from_nanos(self.model.hop_latency_ns);
         let prop = SimDur::from_nanos(self.model.propagation_ns);
 
-        let up = self.links.get_mut(&(ssw, sport.0)).expect("attached port has link");
+        let up = &mut self.links[ssw][sport.0];
         let t0 = now.max(up.up_busy);
         up.up_busy = t0 + ser;
         let src_done = t0 + ser;
@@ -421,8 +462,9 @@ impl Fabric {
             // the message only once it has cleared that switch's outbound
             // trunk — so per-switch and per-trunk totals reconcile even
             // when a later hop congestion-drops the message. Minimal
-            // routing walks the precomputed next-hop table directly (no
-            // allocation); Valiant materialises its detour route.
+            // routing walks the precomputed next-hop table directly;
+            // Valiant copies its interned detour route onto the stack
+            // (≤ 6 switch ids). Neither allocates.
             let step = SimDur::from_nanos(self.model.propagation_ns + self.model.hop_latency_ns);
             match self.topo.policy() {
                 RoutingPolicy::Minimal => {
@@ -442,7 +484,10 @@ impl Fabric {
                     }
                 }
                 RoutingPolicy::Valiant => {
-                    let path = self.topo.route(SwitchId(ssw), SwitchId(dsw), msg_id);
+                    let mut route_buf = [SwitchId(0); 6];
+                    let cached = self.topo.route(SwitchId(ssw), SwitchId(dsw), msg_id);
+                    let path = &mut route_buf[..cached.len()];
+                    path.copy_from_slice(cached);
                     hops = path.len() as u64;
                     for w in path.windows(2) {
                         let (a, b) = (w[0].0, w[1].0);
@@ -462,7 +507,7 @@ impl Fabric {
             self.switches[dsw].note_forwarded(pkts, len);
         }
 
-        let down = self.links.get_mut(&(dsw, dport.0)).expect("bound egress has link");
+        let down = &mut self.links[dsw][dport.0];
         let t1 = head_t.max(down.down_busy);
         down.down_busy = t1 + ser;
         // The last byte reaches the NIC after both the downlink's own
@@ -471,7 +516,7 @@ impl Fabric {
         // + hop), so the legacy formula is preserved bit for bit.
         let arrival = (t1 + ser).max(tail_t + prop) + prop;
 
-        let t = self.traffic.entry(vni).or_default();
+        let t = self.traffic_mut(vni);
         t.messages += 1;
         t.payload_bytes += len;
         t.switch_hops += hops;
@@ -497,12 +542,15 @@ impl Fabric {
         head_t: SimTime,
     ) -> Result<(SimTime, SimTime), TransferOutcome> {
         let cls = tc.index();
-        let trunk = self.trunks.get_mut(&(a, b)).expect("route follows topology links");
+        let n = self.topo.switch_count();
+        let ti = self.trunk_idx[a * n + b];
+        debug_assert!(ti != u32::MAX, "route follows topology links");
+        let trunk = &mut self.trunks[ti as usize];
         let start = head_t.max(trunk.cls_busy[cls]);
         let queued_ns = (start - head_t).as_nanos();
         if queued_ns > self.model.trunk_queue_ns {
             trunk.counters[cls].congestion_drops += 1;
-            self.traffic.entry(vni).or_default().congestion_drops += 1;
+            self.traffic_mut(vni).congestion_drops += 1;
             return Err(TransferOutcome::Dropped(
                 self.switches[a].note_drop(DropReason::Congested),
             ));
@@ -547,8 +595,8 @@ impl Fabric {
     /// transfers may detour and exceed this even on an idle fabric — it
     /// is the minimal-path calibration floor, not a per-message oracle.
     pub fn unloaded_route_ns(&self, src: NicAddr, dst: NicAddr, len: u64) -> Option<u64> {
-        let (ssw, _) = *self.ports_of.get(&src)?;
-        let (dsw, _) = *self.ports_of.get(&dst)?;
+        let (ssw, _) = self.lookup_nic(src)?;
+        let (dsw, _) = self.lookup_nic(dst)?;
         let hops = self.topo.route_minimal(SwitchId(ssw), SwitchId(dsw)).len() as u64;
         let wire = self.model.wire_bytes(len);
         Some(

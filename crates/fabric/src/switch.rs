@@ -74,12 +74,14 @@ impl Default for SwitchConfig {
 #[derive(Debug)]
 pub struct Switch {
     config: SwitchConfig,
-    /// VNIs granted per port.
-    vni_table: BTreeMap<PortId, BTreeSet<Vni>>,
-    /// Destination NIC -> egress port.
-    routes: BTreeMap<NicAddr, PortId>,
-    /// Ingress port -> NIC bound to it (for source validation).
-    bindings: BTreeMap<PortId, NicAddr>,
+    /// VNIs granted per port, indexed by port number (the per-packet
+    /// enforcement lookup is one array index + a small-set probe).
+    vni_table: Vec<BTreeSet<Vni>>,
+    /// Destination NIC -> egress port, sorted by NIC (binary search;
+    /// never iterated on the hot path).
+    routes: Vec<(NicAddr, PortId)>,
+    /// NIC bound to each port (for source validation), indexed by port.
+    bindings: Vec<Option<NicAddr>>,
     /// Counters.
     pub counters: SwitchCounters,
 }
@@ -87,11 +89,12 @@ pub struct Switch {
 impl Switch {
     /// Build a switch with the given configuration.
     pub fn new(config: SwitchConfig) -> Self {
+        let ports = config.ports;
         Switch {
             config,
-            vni_table: BTreeMap::new(),
-            routes: BTreeMap::new(),
-            bindings: BTreeMap::new(),
+            vni_table: vec![BTreeSet::new(); ports],
+            routes: Vec::new(),
+            bindings: vec![None; ports],
             counters: SwitchCounters::default(),
         }
     }
@@ -105,47 +108,54 @@ impl Switch {
     /// out of range; returns `false` if the port was already bound.
     pub fn bind(&mut self, port: PortId, nic: NicAddr) -> bool {
         assert!(port.0 < self.config.ports, "{port} out of range");
-        if self.bindings.contains_key(&port) {
+        if self.bindings[port.0].is_some() {
             return false;
         }
-        self.bindings.insert(port, nic);
-        self.routes.insert(nic, port);
+        self.bindings[port.0] = Some(nic);
+        if let Err(i) = self.routes.binary_search_by_key(&nic, |&(n, _)| n) {
+            self.routes.insert(i, (nic, port));
+        }
         true
     }
 
     /// Remove a NIC binding (node removal).
     pub fn unbind(&mut self, port: PortId) {
-        if let Some(nic) = self.bindings.remove(&port) {
-            self.routes.remove(&nic);
+        if let Some(nic) = self.bindings[port.0].take() {
+            if let Ok(i) = self.routes.binary_search_by_key(&nic, |&(n, _)| n) {
+                self.routes.remove(i);
+            }
         }
-        self.vni_table.remove(&port);
+        self.vni_table[port.0].clear();
     }
 
     /// Grant a VNI on a port (management-plane operation performed by the
     /// fabric manager when the VNI Service allocates a virtual network).
     pub fn grant_vni(&mut self, port: PortId, vni: Vni) {
-        self.vni_table.entry(port).or_default().insert(vni);
+        self.vni_table[port.0].insert(vni);
     }
 
     /// Revoke a VNI from a port.
     pub fn revoke_vni(&mut self, port: PortId, vni: Vni) -> bool {
-        self.vni_table.get_mut(&port).is_some_and(|s| s.remove(&vni))
+        self.vni_table.get_mut(port.0).is_some_and(|s| s.remove(&vni))
     }
 
     /// Egress port a NIC is currently bound to on this switch (`None`
     /// after [`Switch::unbind`]).
     pub fn route_to(&self, nic: NicAddr) -> Option<PortId> {
-        self.routes.get(&nic).copied()
+        self.routes
+            .binary_search_by_key(&nic, |&(n, _)| n)
+            .ok()
+            .map(|i| self.routes[i].1)
     }
 
     /// Whether a port holds a VNI grant.
     pub fn has_vni(&self, port: PortId, vni: Vni) -> bool {
-        self.vni_table.get(&port).is_some_and(|s| s.contains(&vni))
+        self.vni_table.get(port.0).is_some_and(|s| s.contains(&vni))
     }
 
     /// All VNIs granted on a port.
     pub fn vnis_on(&self, port: PortId) -> impl Iterator<Item = Vni> + '_ {
-        self.vni_table.get(&port).into_iter().flatten().copied()
+        self.vni_table.get(port.0).into_iter().flatten().copied()
     }
 
     /// The forwarding decision for one packet arriving on `ingress`,
@@ -176,7 +186,7 @@ impl Switch {
         if let Some(reason) = self.admit(ingress, pkt) {
             return Verdict::Drop(reason);
         }
-        let Some(&egress) = self.routes.get(&pkt.dst) else {
+        let Some(egress) = self.route_to(pkt.dst) else {
             return Verdict::Drop(self.note_drop(DropReason::NoRoute));
         };
         if let Some(reason) = self.egress_check(egress, pkt) {
@@ -191,7 +201,7 @@ impl Switch {
     /// ingress check, with drops counted. `None` means admitted.
     pub fn admit(&mut self, ingress: PortId, pkt: &Packet) -> Option<DropReason> {
         if self.config.check_source
-            && self.bindings.get(&ingress).is_some_and(|&nic| nic != pkt.src)
+            && self.bindings.get(ingress.0).copied().flatten().is_some_and(|nic| nic != pkt.src)
         {
             return Some(self.note_drop(DropReason::SourceSpoofed));
         }

@@ -86,13 +86,59 @@ pub struct Topology {
     policy: RoutingPolicy,
     /// `next_hop[src][dst]` = next switch on the minimal route from
     /// `src` towards `dst` (self for `src == dst`). Computed at build
-    /// time; `route` only walks it.
+    /// time; the route caches are walked from it.
     next_hop: Vec<Vec<u32>>,
+    /// Interned routes: every route any `route*` call can return is
+    /// computed once at build time and handed out as a slice, so the
+    /// per-packet path lookup allocates nothing. See [`RouteCache`].
+    minimal: RouteCache,
+    /// Valiant routes, one entry per `(src, dst, salt class)`. Empty
+    /// when the policy is [`RoutingPolicy::Minimal`] or fewer than three
+    /// groups exist (Valiant then degrades to minimal anyway).
+    valiant: RouteCache,
+}
+
+/// A flat arena of interned routes. Routes are at most
+/// [`RouteCache::STRIDE`] switches long (Valiant's 6-switch worst case),
+/// so the arena uses a fixed stride: route `i` occupies
+/// `switches[i * STRIDE ..][.. lens[i]]`. Lookup is one multiply and one
+/// bounds-checked slice — no pointer chase through per-route `Vec`s.
+#[derive(Debug, Clone, Default)]
+struct RouteCache {
+    switches: Vec<SwitchId>,
+    lens: Vec<u8>,
+}
+
+impl RouteCache {
+    /// Longest possible route: Valiant's `src → gw → land(mid) → mid-gw
+    /// → land(dst) → dst`.
+    const STRIDE: usize = 6;
+
+    fn with_capacity(routes: usize) -> Self {
+        RouteCache {
+            switches: Vec::with_capacity(routes * Self::STRIDE),
+            lens: Vec::with_capacity(routes),
+        }
+    }
+
+    /// Intern `path` as the next route slot (callers index slots in the
+    /// same order they push).
+    fn push(&mut self, path: &[SwitchId]) {
+        debug_assert!(!path.is_empty() && path.len() <= Self::STRIDE);
+        self.switches.extend_from_slice(path);
+        self.switches.resize(self.lens.len() * Self::STRIDE + Self::STRIDE, SwitchId(0));
+        self.lens.push(path.len() as u8);
+    }
+
+    fn get(&self, idx: usize) -> &[SwitchId] {
+        &self.switches[idx * Self::STRIDE..][..self.lens[idx] as usize]
+    }
 }
 
 impl Topology {
-    /// Build the topology and its routing table. Panics on a zero
-    /// dimension (a wiring bug, like the fabric's double-attach).
+    /// Build the topology, its routing table, and the interned route
+    /// caches. Panics on a zero dimension (a wiring bug, like the
+    /// fabric's double-attach).
     pub fn new(spec: TopologySpec, policy: RoutingPolicy) -> Self {
         assert!(spec.groups >= 1, "topology needs at least one group");
         assert!(spec.switches_per_group >= 1, "topology needs at least one switch per group");
@@ -103,7 +149,50 @@ impl Topology {
                 *hop = Self::compute_next_hop(&spec, src, dst) as u32;
             }
         }
-        Topology { spec, policy, next_hop }
+        let mut topo =
+            Topology { spec, policy, next_hop, minimal: RouteCache::default(), valiant: RouteCache::default() };
+        let mut scratch = Vec::with_capacity(RouteCache::STRIDE);
+        let mut minimal = RouteCache::with_capacity(n * n);
+        for src in 0..n {
+            for dst in 0..n {
+                scratch.clear();
+                topo.walk_minimal(SwitchId(src), SwitchId(dst), &mut scratch);
+                minimal.push(&scratch);
+            }
+        }
+        topo.minimal = minimal;
+        if policy == RoutingPolicy::Valiant && spec.groups >= 3 {
+            // `salt % (groups - 2)` is the only way the salt enters route
+            // selection, so `groups - 2` interned routes per (src, dst)
+            // pair cover every possible salt.
+            let classes = topo.salt_classes();
+            let mut valiant = RouteCache::with_capacity(n * n * classes);
+            let mut tail = Vec::with_capacity(RouteCache::STRIDE);
+            for src in 0..n {
+                for dst in 0..n {
+                    for class in 0..classes {
+                        scratch.clear();
+                        tail.clear();
+                        topo.walk_valiant(
+                            SwitchId(src),
+                            SwitchId(dst),
+                            class as u64,
+                            &mut scratch,
+                            &mut tail,
+                        );
+                        valiant.push(&scratch);
+                    }
+                }
+            }
+            topo.valiant = valiant;
+        }
+        topo
+    }
+
+    /// Distinct values `salt % (groups - 2)` can take, i.e. how many
+    /// Valiant routes exist per (src, dst) pair.
+    fn salt_classes(&self) -> usize {
+        self.spec.groups.saturating_sub(2).max(1)
     }
 
     /// The shape this topology was built from.
@@ -194,21 +283,17 @@ impl Topology {
     }
 
     /// Minimal route between two switches, endpoints included. A route
-    /// never revisits a switch and is at most 4 switches long.
-    pub fn route_minimal(&self, from: SwitchId, to: SwitchId) -> Vec<SwitchId> {
-        let mut path = vec![from];
-        let mut cur = from.0;
-        while cur != to.0 {
-            cur = self.next_hop[cur][to.0] as usize;
-            path.push(SwitchId(cur));
-        }
-        path
+    /// never revisits a switch and is at most 4 switches long. One
+    /// arena lookup — the route was interned at build time.
+    pub fn route_minimal(&self, from: SwitchId, to: SwitchId) -> &[SwitchId] {
+        self.minimal.get(from.0 * self.switch_count() + to.0)
     }
 
     /// The route the fabric uses for a message, per the policy. `salt`
     /// (typically the message id) picks the Valiant intermediate group
-    /// deterministically; minimal routing ignores it.
-    pub fn route(&self, from: SwitchId, to: SwitchId, salt: u64) -> Vec<SwitchId> {
+    /// deterministically; minimal routing ignores it. One arena lookup;
+    /// nothing is allocated per call.
+    pub fn route(&self, from: SwitchId, to: SwitchId, salt: u64) -> &[SwitchId] {
         match self.policy {
             RoutingPolicy::Minimal => self.route_minimal(from, to),
             RoutingPolicy::Valiant => self.route_valiant(from, to, salt),
@@ -219,10 +304,40 @@ impl Topology {
     /// group, then minimal onwards. Deterministic in `salt`; loop-free
     /// because the groups visited (`src`, `mid`, `dst`) are distinct and
     /// each group's switches appear consecutively.
-    pub fn route_valiant(&self, from: SwitchId, to: SwitchId, salt: u64) -> Vec<SwitchId> {
+    pub fn route_valiant(&self, from: SwitchId, to: SwitchId, salt: u64) -> &[SwitchId] {
+        if self.valiant.lens.is_empty() {
+            // Minimal-policy or < 3 groups: Valiant degrades to minimal.
+            return self.route_minimal(from, to);
+        }
+        let classes = self.salt_classes();
+        let class = (salt % classes as u64) as usize;
+        self.valiant.get((from.0 * self.switch_count() + to.0) * classes + class)
+    }
+
+    /// Compute (not look up) the minimal route into `path`.
+    fn walk_minimal(&self, from: SwitchId, to: SwitchId, path: &mut Vec<SwitchId>) {
+        path.push(from);
+        let mut cur = from.0;
+        while cur != to.0 {
+            cur = self.next_hop[cur][to.0] as usize;
+            path.push(SwitchId(cur));
+        }
+    }
+
+    /// Compute (not look up) the Valiant route into `path`, using `tail`
+    /// as scratch for the second minimal segment.
+    fn walk_valiant(
+        &self,
+        from: SwitchId,
+        to: SwitchId,
+        salt: u64,
+        path: &mut Vec<SwitchId>,
+        tail: &mut Vec<SwitchId>,
+    ) {
         let (gs, gd) = (self.group_of(from), self.group_of(to));
         if self.spec.groups < 3 || gs == gd {
-            return self.route_minimal(from, to);
+            self.walk_minimal(from, to, path);
+            return;
         }
         // k-th intermediate group in ascending order, skipping src/dst
         // (pure arithmetic; no candidate list is materialised).
@@ -238,10 +353,9 @@ impl Topology {
         // Route to where the src group's global link lands in mid_group,
         // so the junction switch is shared by both minimal segments.
         let mid = self.switch_in_group(mid_group, gs);
-        let mut path = self.route_minimal(from, mid);
-        let tail = self.route_minimal(mid, to);
-        path.extend(tail.into_iter().skip(1));
-        path
+        self.walk_minimal(from, mid, path);
+        self.walk_minimal(mid, to, tail);
+        path.extend_from_slice(&tail[1..]);
     }
 }
 
@@ -313,6 +427,41 @@ mod tests {
         // Deterministic in the salt.
         assert_eq!(p, t.route(from, to, 1));
         assert!(p.len() <= 6);
+    }
+
+    #[test]
+    fn route_cache_matches_recomputed_walk() {
+        // The interned arena must agree with a fresh walk of the
+        // next-hop table for every (src, dst, salt) — including salts
+        // far beyond the class count (they alias onto cached classes).
+        for policy in [RoutingPolicy::Minimal, RoutingPolicy::Valiant] {
+            let t = Topology::new(
+                TopologySpec { groups: 5, switches_per_group: 3, edge_ports: 4 },
+                policy,
+            );
+            for s in 0..t.switch_count() {
+                for d in 0..t.switch_count() {
+                    for salt in [0u64, 1, 2, 3, 7, 1_000_003] {
+                        let cached = t.route(SwitchId(s), SwitchId(d), salt).to_vec();
+                        let mut walked = Vec::new();
+                        let mut tail = Vec::new();
+                        match policy {
+                            RoutingPolicy::Minimal => {
+                                t.walk_minimal(SwitchId(s), SwitchId(d), &mut walked)
+                            }
+                            RoutingPolicy::Valiant => t.walk_valiant(
+                                SwitchId(s),
+                                SwitchId(d),
+                                salt,
+                                &mut walked,
+                                &mut tail,
+                            ),
+                        }
+                        assert_eq!(cached, walked, "{policy:?} {s}->{d} salt {salt}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ proptest! {
             for d in 0..n {
                 let (from, to) = (SwitchId(s), SwitchId(d));
                 let path = topo.route(from, to, salt);
-                check_route(&topo, &path, from, to, 4);
+                check_route(&topo, path, from, to, 4);
                 // Deterministic: independent of the salt and of the
                 // Topology instance (the table is a pure function of the
                 // spec).
@@ -65,7 +65,7 @@ proptest! {
             for d in 0..n {
                 let (from, to) = (SwitchId(s), SwitchId(d));
                 let path = topo.route(from, to, salt);
-                check_route(&topo, &path, from, to, 6);
+                check_route(&topo, path, from, to, 6);
                 prop_assert_eq!(&path, &topo.route(from, to, salt));
             }
         }

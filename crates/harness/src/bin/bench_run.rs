@@ -1,7 +1,7 @@
 //! `bench-run` — the machine-readable perf trajectory.
 //!
 //! ```text
-//! bench-run [--quick] [--baseline FILE] [--label NAME] [--out FILE]
+//! bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE]
 //! ```
 //!
 //! Times the control-plane hot paths the paper's VNI Database serializes
@@ -9,8 +9,19 @@
 //! document (`shs-bench/v1`) with the **median ns/op** per benchmark and
 //! **events/sec** per scenario. Passing `--baseline FILE` (a previous
 //! `bench-run` output) folds that run's medians in as
-//! `baseline_median_ns_per_op` plus a `speedup_vs_baseline` ratio, so
-//! every PR's `results/BENCH_pr<N>.json` records before *and* after.
+//! `baseline_median_ns_per_op` plus a `speedup_vs_baseline` ratio
+//! (3 decimals) and the raw signed `delta_pct`, so every PR's
+//! `results/BENCH_pr<N>.json` records before *and* after. A benchmark
+//! the baseline file does not know about gets an explicit
+//! `"baseline_median_ns_per_op": null`. Adding `--gate` turns the
+//! comparison into a CI check: the run exits non-zero when any metric
+//! regresses by more than [`shs_harness::gate::MAX_REGRESSION_PCT`]
+//! percent (new metrics are informational — see `shs_harness::gate`).
+//! A metric that regresses on its first measurement is re-measured up
+//! to [`GATE_RETRIES`] times and judged on its best result: on a
+//! shared machine a throttle window makes unchanged code read 50%
+//! slow, and one unlucky sample must not fail CI — a real regression
+//! is slow on every attempt.
 //!
 //! Benchmarks:
 //! * `vni_db_acquire_release` — allocate/release cycles at the default
@@ -32,6 +43,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use serde_json::{json, Value};
+use shs_harness::gate::{self, GateCheck};
 use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
 use slingshot_k8s::{
@@ -39,20 +51,37 @@ use slingshot_k8s::{
     VniDb,
 };
 
+/// How many fresh measurements a first-pass gate regression earns
+/// before the gate fails it. The entry keeps its **best** measurement
+/// and the baseline-derived fields are re-folded to match.
+const GATE_RETRIES: usize = 2;
+
 struct Opts {
     quick: bool,
     baseline: Option<PathBuf>,
+    gate: bool,
     label: String,
     out: Option<PathBuf>,
 }
 
+/// Sample/iteration budgets shared by the first measurement pass and
+/// gate-mode re-measurement.
+#[derive(Clone, Copy)]
+struct Budgets {
+    samples: usize,
+    ar_iters: u64,
+    churn_iters: u64,
+    store_iters: u64,
+}
+
 fn parse_args() -> Opts {
     let mut opts =
-        Opts { quick: false, baseline: None, label: "bench-run".into(), out: None };
+        Opts { quick: false, baseline: None, gate: false, label: "bench-run".into(), out: None };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--gate" => opts.gate = true,
             "--baseline" => {
                 let v = args.next().unwrap_or_else(|| usage("--baseline needs a path"));
                 opts.baseline = Some(PathBuf::from(v));
@@ -67,12 +96,15 @@ fn parse_args() -> Opts {
             other => usage(&format!("unknown flag {other}")),
         }
     }
+    if opts.gate && opts.baseline.is_none() {
+        usage("--gate needs --baseline FILE to gate against");
+    }
     opts
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("bench-run: {msg}");
-    eprintln!("usage: bench-run [--quick] [--baseline FILE] [--label NAME] [--out FILE]");
+    eprintln!("usage: bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE]");
     std::process::exit(2);
 }
 
@@ -115,6 +147,13 @@ fn bench_entry(name: &str, median_ns: f64, samples: usize, iters: u64) -> Value 
 
 fn round1(x: f64) -> f64 {
     (x * 10.0).round() / 10.0
+}
+
+/// Speedup ratios get three decimals: at one decimal a real 0.96×
+/// reads as the alarming 1.0×→0.9× step that made PR 5's noise look
+/// like a regression (and a real 1.04× win disappears entirely).
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
 }
 
 /// Allocate/release cycles with the clock pinned at t=0 — the exact
@@ -162,7 +201,7 @@ fn bench_osu_allreduce(samples: usize, iters: u64) -> f64 {
 }
 
 fn bench_store_commit(samples: usize, iters: u64) -> f64 {
-    let mut store = Store::new(StoreConfig { snapshot_every: None });
+    let mut store = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
     let mut i = 0u64;
     measure(samples, iters, || {
         let mut txn = store.begin();
@@ -202,19 +241,115 @@ fn baseline_map(path: &PathBuf, section: &str, field: &str) -> Vec<(String, f64)
 }
 
 fn fold_baseline(entries: &mut [Value], baseline: &[(String, f64)], field: &str) {
+    let higher_is_better = field.ends_with("per_sec");
     for e in entries.iter_mut() {
         let Some(name) = e["name"].as_str() else { continue };
-        let Some(&(_, base)) = baseline.iter().find(|(n, _)| n == name) else { continue };
+        let found = baseline.iter().find(|(n, _)| n == name).map(|&(_, b)| b);
         let Some(current) = e[field].as_f64() else { continue };
         if let Value::Object(map) = e {
+            let Some(base) = found else {
+                // New benchmark: no history in this baseline file. The
+                // explicit null tells readers (and the gate) "compared,
+                // nothing to compare against" rather than "not compared".
+                map.insert(format!("baseline_{field}"), Value::Null);
+                continue;
+            };
             map.insert(format!("baseline_{field}"), json!(round1(base)));
-            if current > 0.0 {
-                let ratio =
-                    if field.ends_with("per_sec") { current / base } else { base / current };
-                map.insert("speedup_vs_baseline".into(), json!(round1(ratio)));
+            if current > 0.0 && base > 0.0 {
+                let ratio = if higher_is_better { current / base } else { base / current };
+                map.insert("speedup_vs_baseline".into(), json!(round3(ratio)));
+                // Raw signed regression percentage (positive = worse),
+                // unrounded — the number the gate thresholds.
+                map.insert(
+                    "delta_pct".into(),
+                    json!(gate::regression_pct(current, base, higher_is_better)),
+                );
             }
         }
     }
+}
+
+/// One fresh measurement of a gate metric: `(value, wall_ms)` — the
+/// value in the entry's own unit (ns/op or events/sec), `wall_ms` only
+/// for scenario entries so their wall-clock field can stay coherent.
+fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
+    Some(match name {
+        "vni_db_acquire_release" => (bench_acquire_release(b.samples, b.ar_iters), None),
+        "vni_db_churn_hot" => (bench_churn_hot(b.samples, b.churn_iters).0, None),
+        "store_txn_commit" => (bench_store_commit(b.samples, b.store_iters), None),
+        "fabric_transfer_hot" => (bench_fabric_transfer_hot(b.samples, b.store_iters), None),
+        "osu_allreduce" => (bench_osu_allreduce(b.samples, b.churn_iters), None),
+        "churn" | "steady-state" => {
+            let (events, wall_s) = run_scenario_timed(name);
+            (events as f64 / wall_s, Some(wall_s * 1e3))
+        }
+        _ => return None,
+    })
+}
+
+/// Gate-mode de-flaking: every entry whose first measurement regresses
+/// past the threshold is re-measured up to [`GATE_RETRIES`] times and
+/// keeps its best result. A transient scheduler/throttle window does
+/// not survive three attempts; a real regression fails all of them.
+fn retry_regressions(
+    entries: &mut [Value],
+    baseline: &[(String, f64)],
+    field: &str,
+    budgets: &Budgets,
+) {
+    let higher_is_better = field.ends_with("per_sec");
+    for _ in 0..GATE_RETRIES {
+        let mut any_failing = false;
+        for e in entries.iter_mut() {
+            let Some(name) = e["name"].as_str().map(str::to_string) else { continue };
+            let Some(current) = e[field].as_f64() else { continue };
+            let Some(base) = baseline.iter().find(|(n, _)| n == &name).map(|&(_, b)| b) else {
+                continue;
+            };
+            if gate::regression_pct(current, base, higher_is_better) <= gate::MAX_REGRESSION_PCT {
+                continue;
+            }
+            any_failing = true;
+            let Some((fresh, wall_ms)) = remeasure(&name, budgets) else { continue };
+            let keep = if higher_is_better { fresh > current } else { fresh < current };
+            eprintln!(
+                "bench-run: gate retry {name}: first pass {} {field}, re-measured {} — keeping {}",
+                round1(current),
+                round1(fresh),
+                round1(if keep { fresh } else { current }),
+            );
+            if keep {
+                if let Value::Object(map) = e {
+                    map.insert(field.to_string(), json!(round1(fresh)));
+                    if let Some(w) = wall_ms {
+                        map.insert("wall_ms".into(), json!(round1(w)));
+                    }
+                }
+            }
+        }
+        if !any_failing {
+            break;
+        }
+    }
+    // Speedup/delta must describe the kept measurements.
+    fold_baseline(entries, baseline, field);
+}
+
+/// Extract the gate's view of folded entries: `(name, current,
+/// baseline-or-None)` in entry order.
+fn gate_checks(entries: &[Value], field: &str) -> Vec<GateCheck> {
+    let higher_is_better = field.ends_with("per_sec");
+    entries
+        .iter()
+        .filter_map(|e| {
+            Some(GateCheck {
+                name: e["name"].as_str()?.to_string(),
+                current: e[field].as_f64()?,
+                baseline: e[format!("baseline_{field}").as_str()].as_f64(),
+                higher_is_better,
+            })
+        })
+        .collect()
 }
 
 fn main() {
@@ -222,8 +357,12 @@ fn main() {
     // Sample/iteration budgets keep acquire_release inside one workload
     // epoch (the backlog profile stays comparable across runs) and keep
     // churn_hot affordable on un-indexed builds.
-    let (samples, ar_iters, churn_iters, store_iters) =
-        if opts.quick { (7, 100, 10, 200) } else { (15, 150, 20, 500) };
+    let budgets = if opts.quick {
+        Budgets { samples: 7, ar_iters: 100, churn_iters: 10, store_iters: 200 }
+    } else {
+        Budgets { samples: 15, ar_iters: 150, churn_iters: 20, store_iters: 500 }
+    };
+    let Budgets { samples, ar_iters, churn_iters, store_iters } = budgets;
 
     eprintln!("bench-run: timing vni_db_acquire_release ...");
     let ar = bench_acquire_release(samples, ar_iters);
@@ -258,11 +397,19 @@ fn main() {
         }));
     }
 
+    let mut gate_report = None;
     if let Some(path) = &opts.baseline {
         let bench_base = baseline_map(path, "benchmarks", "median_ns_per_op");
         fold_baseline(&mut benchmarks, &bench_base, "median_ns_per_op");
         let scen_base = baseline_map(path, "scenarios", "events_per_sec");
         fold_baseline(&mut scenarios, &scen_base, "events_per_sec");
+        if opts.gate {
+            retry_regressions(&mut benchmarks, &bench_base, "median_ns_per_op", &budgets);
+            retry_regressions(&mut scenarios, &scen_base, "events_per_sec", &budgets);
+            let mut checks = gate_checks(&benchmarks, "median_ns_per_op");
+            checks.extend(gate_checks(&scenarios, "events_per_sec"));
+            gate_report = Some(gate::evaluate(&checks, gate::MAX_REGRESSION_PCT));
+        }
     }
 
     let doc = json!({
@@ -281,6 +428,21 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(report) = gate_report {
+        for line in &report.informational {
+            eprintln!("bench-run: gate [info] {line}");
+        }
+        if !report.passed() {
+            for line in &report.failures {
+                eprintln!("bench-run: gate FAIL {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench-run: gate passed (no metric regressed >{}% vs baseline)",
+            gate::MAX_REGRESSION_PCT
+        );
     }
 }
 

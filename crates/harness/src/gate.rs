@@ -1,0 +1,159 @@
+//! The perf regression gate behind `bench-run --gate`.
+//!
+//! CI's bench-smoke job runs `bench-run --quick --gate --baseline
+//! results/BENCH_pr<N>.json`: every measured median is compared to the
+//! committed baseline and the run **fails** when any metric regresses
+//! by more than [`MAX_REGRESSION_PCT`] percent. The gate is directional
+//! — `ns/op` medians regress by going *up*, `events/sec` throughputs by
+//! going *down* — and a metric the baseline file does not know about is
+//! reported as informational, never failed: a freshly added benchmark
+//! has no history to regress against (its `baseline_median_ns_per_op`
+//! is emitted as an explicit `null` in the JSON).
+//!
+//! Thresholded gating (rather than "any slowdown fails") is deliberate:
+//! the quick-sampled CI medians carry several percent of scheduler
+//! noise, and PR 5's phantom 0.8×/0.9× readings were exactly that noise
+//! amplified by lossy rounding. 20 % is far outside the noise band but
+//! well inside the 1.5–10× regressions the gate exists to catch.
+
+/// A metric regressing by more than this many percent fails the gate.
+pub const MAX_REGRESSION_PCT: f64 = 20.0;
+
+/// One metric to gate: the measured value, the baseline to hold it to
+/// (`None` = new metric, informational), and which direction is better.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Benchmark or scenario name, used verbatim in failure messages.
+    pub name: String,
+    /// This run's value (median ns/op, or events/sec).
+    pub current: f64,
+    /// The committed baseline value, if the baseline file has one.
+    pub baseline: Option<f64>,
+    /// `true` for throughputs (events/sec), `false` for latencies
+    /// (ns/op). Decides which direction counts as a regression.
+    pub higher_is_better: bool,
+}
+
+/// The gate's verdict over one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// One human-readable line per failing metric, naming the metric
+    /// and both values.
+    pub failures: Vec<String>,
+    /// Metrics with no baseline entry — reported, never failed.
+    pub informational: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when every gated metric is within the threshold.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Signed regression percentage: positive = worse than baseline,
+/// negative = better, regardless of the metric's direction.
+pub fn regression_pct(current: f64, baseline: f64, higher_is_better: bool) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    let delta = (current - baseline) / baseline * 100.0;
+    if higher_is_better {
+        -delta
+    } else {
+        delta
+    }
+}
+
+/// Evaluate every check against `max_regression_pct`. Failure lines
+/// name the offending metric and both values, e.g.
+/// `fabric_transfer_hot: 90.1 ns/op vs baseline 66.4 ns/op (+35.7% regression, limit 20%)`.
+pub fn evaluate(checks: &[GateCheck], max_regression_pct: f64) -> GateReport {
+    let mut report = GateReport::default();
+    for c in checks {
+        let unit = if c.higher_is_better { "events/sec" } else { "ns/op" };
+        let Some(base) = c.baseline else {
+            report.informational.push(format!(
+                "{}: {} {unit} (new metric, no baseline — informational)",
+                c.name, c.current
+            ));
+            continue;
+        };
+        let reg = regression_pct(c.current, base, c.higher_is_better);
+        if reg > max_regression_pct {
+            report.failures.push(format!(
+                "{}: {} {unit} vs baseline {} {unit} ({:+.1}% regression, limit {}%)",
+                c.name, c.current, base, reg, max_regression_pct
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(name: &str, current: f64, baseline: Option<f64>, higher_is_better: bool) -> GateCheck {
+        GateCheck { name: name.into(), current, baseline, higher_is_better }
+    }
+
+    #[test]
+    fn injected_regression_over_threshold_fails_and_names_both_medians() {
+        // The acceptance probe: a >20% injected latency regression must
+        // fail the gate, and the message must name the benchmark and
+        // both medians.
+        let report = evaluate(&[check("fabric_transfer_hot", 90.1, Some(66.4), false)], 20.0);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        let msg = &report.failures[0];
+        assert!(msg.contains("fabric_transfer_hot"), "{msg}");
+        assert!(msg.contains("90.1"), "current median: {msg}");
+        assert!(msg.contains("66.4"), "baseline median: {msg}");
+    }
+
+    #[test]
+    fn regressions_within_threshold_pass() {
+        // +19% is noisy-but-tolerated; improvement is obviously fine.
+        let report = evaluate(
+            &[
+                check("store_txn_commit", 119.0, Some(100.0), false),
+                check("vni_db_churn_hot", 50.0, Some(100.0), false),
+            ],
+            20.0,
+        );
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn throughput_regressions_gate_in_the_opposite_direction() {
+        // events/sec going DOWN is the regression...
+        let down = evaluate(&[check("churn", 700.0, Some(1000.0), true)], 20.0);
+        assert_eq!(down.failures.len(), 1, "{:?}", down.failures);
+        assert!(down.failures[0].contains("+30.0%"), "{}", down.failures[0]);
+        // ...and going up the same distance is an improvement.
+        let up = evaluate(&[check("churn", 1300.0, Some(1000.0), true)], 20.0);
+        assert!(up.passed());
+    }
+
+    #[test]
+    fn new_metric_without_baseline_is_informational_not_failing() {
+        // A benchmark added in this PR has no committed history: the
+        // gate reports it but cannot fail it (satellite f).
+        let report = evaluate(&[check("brand_new_bench", 5000.0, None, false)], 20.0);
+        assert!(report.passed());
+        assert_eq!(report.informational.len(), 1);
+        assert!(report.informational[0].contains("brand_new_bench"));
+        assert!(report.informational[0].contains("informational"));
+    }
+
+    #[test]
+    fn regression_pct_is_signed_and_direction_aware() {
+        assert_eq!(regression_pct(120.0, 100.0, false), 20.0);
+        assert_eq!(regression_pct(80.0, 100.0, false), -20.0);
+        assert_eq!(regression_pct(80.0, 100.0, true), 20.0);
+        assert_eq!(regression_pct(120.0, 100.0, true), -20.0);
+        // A zero baseline cannot regress (avoids div-by-zero blowups).
+        assert_eq!(regression_pct(5.0, 0.0, false), 0.0);
+    }
+}

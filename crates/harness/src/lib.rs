@@ -9,7 +9,9 @@
 //! * [`report`] — rendering into console tables, ASCII plots and CSVs;
 //! * [`output`] — sinks and plotting primitives;
 //! * [`runmeta`] — the run-level metrics block `scenario-run` appends
-//!   after its byte-deterministic reports section.
+//!   after its byte-deterministic reports section;
+//! * [`gate`] — the perf regression gate `bench-run --gate` applies
+//!   against a committed baseline in CI's bench-smoke job.
 //!
 //! The `repro` binary exposes each figure as a subcommand; EXPERIMENTS.md
 //! records paper-vs-measured for every one.
@@ -17,6 +19,7 @@
 pub mod admission;
 pub mod collective;
 pub mod comm;
+pub mod gate;
 pub mod output;
 pub mod report;
 pub mod runmeta;
@@ -27,6 +30,7 @@ pub use admission::{
     AdmissionSeries, JobRecord, JobTracker, Pattern,
 };
 pub use collective::{job_communicator, CollectiveRig, OsuAllreduceWorkload};
+pub use gate::{evaluate as evaluate_gate, GateCheck, GateReport, MAX_REGRESSION_PCT};
 pub use comm::{run_comm, CommConfig, CommResult, Metric, ModeSamples};
 pub use output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};
 pub use runmeta::{scenario_run_document, RunMetrics};

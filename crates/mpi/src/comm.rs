@@ -154,6 +154,12 @@ pub struct Communicator {
     io: Vec<RankIo>,
     lost: u64,
     op_seq: u64,
+    // Scratch arenas reused across rounds so steady-state collectives
+    // allocate nothing per hop: the round's op list and the per-rank
+    // expected-completion counts. Taken (`mem::take`) around `exchange`
+    // because the round borrows `self` mutably.
+    ops_buf: Vec<P2pOp>,
+    expect_buf: Vec<usize>,
 }
 
 impl Communicator {
@@ -219,6 +225,8 @@ impl Communicator {
             io: vec![RankIo::default(); n],
             lost: 0,
             op_seq: 0,
+            ops_buf: Vec::with_capacity(n),
+            expect_buf: Vec::with_capacity(n),
         })
     }
 
@@ -282,7 +290,9 @@ impl Communicator {
         debug_assert!(ops.len() < (1 << 20), "round too wide for the tag space");
         let tag_base = (self.op_seq + 1) << 20;
         self.op_seq += 1;
-        let mut expect = vec![0usize; self.size()];
+        let mut expect = std::mem::take(&mut self.expect_buf);
+        expect.clear();
+        expect.resize(self.size(), 0);
         // Receivers pre-post.
         for (k, &(_, dst, _)) in ops.iter().enumerate() {
             let tag = tag_base | k as u64;
@@ -331,6 +341,7 @@ impl Communicator {
                 }
             }
         }
+        self.expect_buf = expect;
     }
 
     /// Dissemination barrier: round *k* has every rank send a zero-byte
@@ -340,12 +351,15 @@ impl Communicator {
     /// instant (no artificial synchronization).
     pub fn barrier(&mut self, devs: &mut CommDevices<'_>) {
         let n = self.size();
+        let mut ops = std::mem::take(&mut self.ops_buf);
         let mut dist = 1;
         while dist < n {
-            let ops: Vec<P2pOp> = (0..n).map(|i| (i, (i + dist) % n, 0)).collect();
+            ops.clear();
+            ops.extend((0..n).map(|i| (i, (i + dist) % n, 0)));
             self.exchange(devs, &ops);
             dist *= 2;
         }
+        self.ops_buf = ops;
     }
 
     /// Binomial-tree broadcast of `size` bytes from `root`: in round
@@ -355,15 +369,19 @@ impl Communicator {
     pub fn bcast(&mut self, devs: &mut CommDevices<'_>, root: usize, size: u64) {
         let n = self.size();
         assert!(root < n, "root {root} of {n}");
+        let mut ops = std::mem::take(&mut self.ops_buf);
         let mut mask = 1;
         while mask < n {
-            let ops: Vec<P2pOp> = (0..n)
-                .filter(|&vr| vr < mask && vr + mask < n)
-                .map(|vr| ((vr + root) % n, (vr + mask + root) % n, size))
-                .collect();
+            ops.clear();
+            ops.extend(
+                (0..n)
+                    .filter(|&vr| vr < mask && vr + mask < n)
+                    .map(|vr| ((vr + root) % n, (vr + mask + root) % n, size)),
+            );
             self.exchange(devs, &ops);
             mask <<= 1;
         }
+        self.ops_buf = ops;
     }
 
     /// Allreduce of `size` bytes. Small messages on power-of-two rank
@@ -377,18 +395,29 @@ impl Communicator {
         if n == 1 {
             return;
         }
+        let mut ops = std::mem::take(&mut self.ops_buf);
         if size <= Self::RECURSIVE_DOUBLING_MAX && n.is_power_of_two() {
             let mut mask = 1;
             while mask < n {
-                let ops: Vec<P2pOp> = (0..n).map(|i| (i, i ^ mask, size)).collect();
+                ops.clear();
+                ops.extend((0..n).map(|i| (i, i ^ mask, size)));
                 self.exchange(devs, &ops);
                 mask <<= 1;
             }
-            return;
+        } else {
+            // The same steps [`ring_allreduce_schedule`] returns —
+            // both call [`ring_step_into`] — generated one step at a
+            // time into the scratch arena instead of materializing the
+            // full `2(n−1)`-step schedule.
+            for phase in 0..2usize {
+                for s in 0..n - 1 {
+                    ops.clear();
+                    ring_step_into(n, size, phase, s, &mut ops);
+                    self.exchange(devs, &ops);
+                }
+            }
         }
-        for step_ops in ring_allreduce_schedule(n, size) {
-            self.exchange(devs, &step_ops);
-        }
+        self.ops_buf = ops;
     }
 
     /// All-to-all personalized exchange of `size` bytes per peer:
@@ -396,10 +425,13 @@ impl Communicator {
     /// peer `s` ahead and receiving from the peer `s` behind.
     pub fn alltoall(&mut self, devs: &mut CommDevices<'_>, size: u64) {
         let n = self.size();
+        let mut ops = std::mem::take(&mut self.ops_buf);
         for s in 1..n {
-            let ops: Vec<P2pOp> = (0..n).map(|i| (i, (i + s) % n, size)).collect();
+            ops.clear();
+            ops.extend((0..n).map(|i| (i, (i + s) % n, size)));
             self.exchange(devs, &ops);
         }
+        self.ops_buf = ops;
     }
 }
 
@@ -465,27 +497,33 @@ pub(crate) fn blocking_recv(ep: &mut OfiEp, t: SimTime, tag: u64) -> (SimTime, b
 /// assert_eq!(total, 2 * 3 * 1000);
 /// ```
 pub fn ring_allreduce_schedule(n: usize, size: u64) -> Vec<Vec<(usize, usize, u64)>> {
+    let mut steps = Vec::with_capacity(2 * (n.saturating_sub(1)));
+    for phase in 0..2usize {
+        for s in 0..n - 1 {
+            let mut ops = Vec::with_capacity(n);
+            ring_step_into(n, size, phase, s, &mut ops);
+            steps.push(ops);
+        }
+    }
+    steps
+}
+
+/// Append one ring-allreduce step's ops (phase 0 = reduce-scatter,
+/// phase 1 = allgather, step `s` within the phase) to `out`. The single
+/// generator behind both [`ring_allreduce_schedule`] and the zero-alloc
+/// path inside [`Communicator::allreduce`], so the two cannot diverge.
+fn ring_step_into(n: usize, size: u64, phase: usize, s: usize, out: &mut Vec<P2pOp>) {
     let chunk = |idx: usize| -> u64 {
         let (n, idx) = (n as u64, (idx % n) as u64);
         (idx + 1) * size / n - idx * size / n
     };
-    let mut steps = Vec::with_capacity(2 * (n.saturating_sub(1)));
-    for phase in 0..2usize {
-        for s in 0..n - 1 {
-            steps.push(
-                (0..n)
-                    .map(|i| {
-                        let idx = match phase {
-                            0 => (i + n - s) % n,
-                            _ => (i + 1 + n - s) % n,
-                        };
-                        (i, (i + 1) % n, chunk(idx))
-                    })
-                    .collect(),
-            );
-        }
-    }
-    steps
+    out.extend((0..n).map(|i| {
+        let idx = match phase {
+            0 => (i + n - s) % n,
+            _ => (i + 1 + n - s) % n,
+        };
+        (i, (i + 1) % n, chunk(idx))
+    }));
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ use shs_des::DetRng;
 
 use crate::codec::{push_bytes, read_bytes};
 use crate::disk::SimDisk;
-use crate::wal::{decode_all, encode, Record, RecordKind};
+use crate::wal::{decode_all, encode_into, RecordKind};
 
 type Table = BTreeMap<Vec<u8>, Vec<u8>>;
 
@@ -51,24 +51,22 @@ enum Op {
     Delete { table: String, key: Vec<u8> },
 }
 
-fn encode_ops(ops: &[Op]) -> Vec<u8> {
-    let mut out = Vec::new();
+fn encode_ops_into(ops: &[Op], out: &mut Vec<u8>) {
     for op in ops {
         match op {
             Op::Put { table, key, value } => {
                 out.push(1u8);
-                push_bytes(&mut out, table.as_bytes());
-                push_bytes(&mut out, key);
-                push_bytes(&mut out, value);
+                push_bytes(out, table.as_bytes());
+                push_bytes(out, key);
+                push_bytes(out, value);
             }
             Op::Delete { table, key } => {
                 out.push(2u8);
-                push_bytes(&mut out, table.as_bytes());
-                push_bytes(&mut out, key);
+                push_bytes(out, table.as_bytes());
+                push_bytes(out, key);
             }
         }
     }
-    out
 }
 
 fn decode_ops(payload: &[u8]) -> Vec<Op> {
@@ -97,11 +95,23 @@ fn decode_ops(payload: &[u8]) -> Vec<Op> {
 pub struct StoreConfig {
     /// Write a snapshot record after this many commits (None = never).
     pub snapshot_every: Option<u64>,
+    /// Additionally require the WAL to have grown by at least this
+    /// multiple of the previous snapshot's size before snapshotting
+    /// again (0 = no requirement, the legacy fixed cadence).
+    ///
+    /// A fixed cadence re-encodes every row each `snapshot_every`
+    /// commits, which is O(table size) work on a schedule that does not
+    /// scale with it — total snapshot cost grows quadratically with
+    /// history. A factor of 1 makes each snapshot "pay for itself" in
+    /// WAL growth, bounding amortized snapshot work per commit by a
+    /// constant while recovery still replays at most one
+    /// snapshot-equivalent of tail records.
+    pub snapshot_wal_factor: u64,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { snapshot_every: Some(256) }
+        StoreConfig { snapshot_every: Some(256), snapshot_wal_factor: 0 }
     }
 }
 
@@ -126,7 +136,18 @@ pub struct Store {
     next_lsn: u64,
     config: StoreConfig,
     commits_since_snapshot: u64,
+    /// WAL bytes appended since the last snapshot (commit frames only).
+    wal_since_snapshot: u64,
+    /// Size of the last snapshot frame (0 before the first snapshot).
+    last_snapshot_bytes: u64,
     stats: StoreStats,
+    // Scratch arenas for the commit hot path: the encoded-ops payload,
+    // the framed WAL record, and the previous transaction's (emptied)
+    // staging Vec. Reused so a steady-state single-put commit performs
+    // no buffer allocations beyond the row's own owned bytes.
+    payload_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
+    ops_pool: Vec<Op>,
 }
 
 impl Store {
@@ -138,7 +159,12 @@ impl Store {
             next_lsn: 1,
             config,
             commits_since_snapshot: 0,
+            wal_since_snapshot: 0,
+            last_snapshot_bytes: 0,
             stats: StoreStats::default(),
+            payload_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            ops_pool: Vec::new(),
         }
     }
 
@@ -154,7 +180,7 @@ impl Store {
             Some(i) => {
                 tables.clear();
                 for op in decode_ops(&records[i].payload) {
-                    apply_op(&mut tables, &op);
+                    apply_op(&mut tables, op);
                 }
                 next_lsn = records[i].lsn + 1;
                 i + 1
@@ -164,7 +190,7 @@ impl Store {
         for rec in &records[start..] {
             if rec.kind == RecordKind::Commit {
                 for op in decode_ops(&rec.payload) {
-                    apply_op(&mut tables, &op);
+                    apply_op(&mut tables, op);
                 }
                 next_lsn = rec.lsn + 1;
             }
@@ -175,13 +201,21 @@ impl Store {
             next_lsn,
             config,
             commits_since_snapshot: 0,
+            wal_since_snapshot: 0,
+            last_snapshot_bytes: 0,
             stats: StoreStats::default(),
+            payload_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            ops_pool: Vec::new(),
         }
     }
 
-    /// Begin a serializable transaction.
+    /// Begin a serializable transaction. The staging `Vec` is recycled
+    /// from the last committed transaction, so back-to-back commits do
+    /// not reallocate it.
     pub fn begin(&mut self) -> Txn<'_> {
-        Txn { store: self, ops: Vec::new() }
+        let ops = std::mem::take(&mut self.ops_pool);
+        Txn { store: self, ops }
     }
 
     /// Committed read.
@@ -202,27 +236,33 @@ impl Store {
         self.tables.get(table).map_or(0, |t| t.len())
     }
 
-    /// Force a snapshot checkpoint now.
+    /// Force a snapshot checkpoint now. Rows are encoded straight from
+    /// the committed tables into the record payload — no intermediate
+    /// per-row `Op` clones — so a snapshot costs one pass plus one
+    /// payload buffer, not three copies of every row.
     pub fn snapshot(&mut self) {
-        let mut ops = Vec::new();
+        self.payload_buf.clear();
         for (tname, table) in &self.tables {
             for (k, v) in table {
-                ops.push(Op::Put { table: tname.clone(), key: k.clone(), value: v.clone() });
+                // Byte-identical to `encode_ops_into` of a `Put` per row.
+                self.payload_buf.push(1u8);
+                push_bytes(&mut self.payload_buf, tname.as_bytes());
+                push_bytes(&mut self.payload_buf, k);
+                push_bytes(&mut self.payload_buf, v);
             }
         }
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        let frame = encode(&Record {
-            kind: RecordKind::Snapshot,
-            lsn,
-            payload: encode_ops(&ops),
-        });
-        self.disk.append(&frame);
+        self.frame_buf.clear();
+        encode_into(RecordKind::Snapshot, lsn, &self.payload_buf, &mut self.frame_buf);
+        self.disk.append(&self.frame_buf);
         self.disk.fsync();
-        self.stats.wal_bytes += frame.len() as u64;
+        self.stats.wal_bytes += self.frame_buf.len() as u64;
         self.stats.snapshots += 1;
         self.stats.fsyncs += 1;
         self.commits_since_snapshot = 0;
+        self.wal_since_snapshot = 0;
+        self.last_snapshot_bytes = self.frame_buf.len() as u64;
     }
 
     /// Simulate a crash, returning the surviving device image.
@@ -241,23 +281,32 @@ impl Store {
         StoreStats { fsyncs: self.disk.fsyncs, ..self.stats }
     }
 
-    fn commit_ops(&mut self, ops: Vec<Op>) -> u64 {
+    fn commit_ops(&mut self, mut ops: Vec<Op>) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         // WAL first, then fsync, then apply: crash before the fsync loses
         // the whole transaction, never half of it.
-        let frame =
-            encode(&Record { kind: RecordKind::Commit, lsn, payload: encode_ops(&ops) });
-        self.disk.append(&frame);
+        self.payload_buf.clear();
+        encode_ops_into(&ops, &mut self.payload_buf);
+        self.frame_buf.clear();
+        encode_into(RecordKind::Commit, lsn, &self.payload_buf, &mut self.frame_buf);
+        self.disk.append(&self.frame_buf);
         self.disk.fsync();
-        self.stats.wal_bytes += frame.len() as u64;
-        for op in &ops {
+        self.stats.wal_bytes += self.frame_buf.len() as u64;
+        self.wal_since_snapshot += self.frame_buf.len() as u64;
+        // Apply by move: the ops' owned strings and byte vectors become
+        // the table rows instead of being cloned, and the emptied
+        // staging Vec goes back to the pool for the next `begin`.
+        for op in ops.drain(..) {
             apply_op(&mut self.tables, op);
         }
+        self.ops_pool = ops;
         self.stats.commits += 1;
         self.commits_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
-            if self.commits_since_snapshot >= every {
+            let wal_due = self.wal_since_snapshot
+                >= self.config.snapshot_wal_factor.saturating_mul(self.last_snapshot_bytes);
+            if self.commits_since_snapshot >= every && wal_due {
                 self.snapshot();
             }
         }
@@ -265,14 +314,23 @@ impl Store {
     }
 }
 
-fn apply_op(tables: &mut BTreeMap<String, Table>, op: &Op) {
+fn apply_op(tables: &mut BTreeMap<String, Table>, op: Op) {
     match op {
         Op::Put { table, key, value } => {
-            tables.entry(table.clone()).or_default().insert(key.clone(), value.clone());
+            // `get_mut` first: the common case (table exists) must not
+            // clone the table name just to probe the `entry` API.
+            match tables.get_mut(&table) {
+                Some(t) => {
+                    t.insert(key, value);
+                }
+                None => {
+                    tables.entry(table).or_default().insert(key, value);
+                }
+            }
         }
         Op::Delete { table, key } => {
-            if let Some(t) = tables.get_mut(table) {
-                t.remove(key);
+            if let Some(t) = tables.get_mut(&table) {
+                t.remove(&key);
             }
         }
     }
@@ -414,7 +472,7 @@ mod tests {
     use super::*;
 
     fn store() -> Store {
-        Store::new(StoreConfig { snapshot_every: None })
+        Store::new(StoreConfig { snapshot_every: None, ..Default::default() })
     }
 
     #[test]
@@ -551,7 +609,7 @@ mod tests {
 
     #[test]
     fn snapshot_then_recover_matches_state() {
-        let mut s = Store::new(StoreConfig { snapshot_every: Some(4) });
+        let mut s = Store::new(StoreConfig { snapshot_every: Some(4), ..Default::default() });
         for i in 0..10u32 {
             let mut t = s.begin();
             t.put("a", &i.to_le_bytes(), &(i * 2).to_le_bytes());
@@ -568,6 +626,49 @@ mod tests {
         let got: Vec<(Vec<u8>, Vec<u8>)> =
             r.scan("a").map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn wal_factor_defers_snapshots_until_wal_grows() {
+        // With factor 1, a snapshot is only due once the WAL has grown by
+        // at least the previous snapshot's size — tiny commits against a
+        // large table must not trigger O(table) re-encoding every N
+        // commits.
+        let mut s = Store::new(StoreConfig {
+            snapshot_every: Some(4),
+            snapshot_wal_factor: 1,
+        });
+        // Build a large table; the first snapshot (nothing snapshotted
+        // yet, last_snapshot_bytes == 0) fires on the fixed cadence.
+        for i in 0..64u32 {
+            let mut t = s.begin();
+            t.put("big", &i.to_le_bytes(), &[0u8; 128]);
+            t.commit();
+        }
+        let after_fill = s.stats().snapshots;
+        assert!(after_fill >= 1);
+        // Tiny commits: far more than `snapshot_every` of them, but their
+        // combined WAL bytes stay below one snapshot's size — no new
+        // snapshot may fire.
+        for _ in 0..8 {
+            let mut t = s.begin();
+            t.put("small", b"k", b"v");
+            t.commit();
+        }
+        assert_eq!(s.stats().snapshots, after_fill);
+        // Keep committing until the WAL growth catches up: eventually a
+        // snapshot fires again, and recovery still sees everything.
+        for i in 0..4096u32 {
+            let mut t = s.begin();
+            t.put("small", &i.to_le_bytes(), &[7u8; 64]);
+            t.commit();
+            if s.stats().snapshots > after_fill {
+                break;
+            }
+        }
+        assert!(s.stats().snapshots > after_fill);
+        let r = Store::recover(s.shutdown(), StoreConfig::default());
+        assert_eq!(r.row_count("big"), 64);
     }
 
     #[test]

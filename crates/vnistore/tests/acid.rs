@@ -44,7 +44,7 @@ type Model = BTreeMap<(String, Vec<u8>), Vec<u8>>;
 /// Returns (store, model-after-each-commit) where the model only
 /// reflects *committed* transactions.
 fn run_script(ops: &[ScriptOp], snapshot_every: Option<u64>) -> (Store, Model) {
-    let mut store = Store::new(StoreConfig { snapshot_every });
+    let mut store = Store::new(StoreConfig { snapshot_every, ..Default::default() });
     let mut committed: Model = BTreeMap::new();
     let mut staged: Vec<ScriptOp> = Vec::new();
 
