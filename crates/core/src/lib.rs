@@ -15,7 +15,11 @@
 //!   log;
 //! * **the cluster composition** ([`cluster::Cluster`]) that wires hosts,
 //!   NICs, the fabric, container runtimes, CNI chains, kubelets and the
-//!   control plane into one deterministic simulated cluster.
+//!   control plane into one deterministic simulated cluster;
+//! * **cluster-scale parallel sweeps** ([`parsim`]) — named 256–1024-node
+//!   dragonfly fabric scenarios running sharded per group under
+//!   `shs_des::ParallelSim`, reported byte-identically at any thread
+//!   count.
 //!
 //! ```
 //! use shs_des::{SimDur, SimTime};
@@ -32,6 +36,7 @@
 pub mod cluster;
 pub mod cxi_cni;
 pub mod endpoint;
+pub mod parsim;
 pub mod scenario;
 pub mod vni_db;
 pub mod workloads;
@@ -41,6 +46,10 @@ pub use cluster::{
 };
 pub use cxi_cni::{CxiCniParams, CxiCniPlugin, NodeChain, NodeCniCtx, NodeCniPlugin, MAX_GRACE_SECS};
 pub use endpoint::{EndpointCounters, EndpointHandle, EndpointRole, VniCrdSpec, VniEndpoint};
+pub use parsim::{
+    parallel_by_name, parallel_library, run_fabric_scenario, FabricClassReport, FabricGroupReport,
+    FabricScenario, FabricSweepReport,
+};
 pub use scenario::{
     by_name, library, ring_allreduce_schedule, run_scenario, ClaimPlan, ClassTraffic, Fault,
     JobPlan, JobTraffic, Scenario, ScenarioReport, TrafficPattern, TrafficPlan, VniMode,

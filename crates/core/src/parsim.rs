@@ -1,0 +1,276 @@
+//! Cluster-scale parallel fabric scenarios (§IV-D scale-out).
+//!
+//! The k8s scenario engine ([`crate::scenario`]) exercises the full
+//! control plane per message and tops out around a hundred nodes per
+//! affordable run. This module is the other end of the trade: named
+//! **fabric sweeps** over 256–1024-node dragonfly topologies running
+//! under the sharded engine (`shs_fabric::shardsim`, one shard per
+//! dragonfly group on `shs_des::ParallelSim`), reported in the same
+//! style as [`crate::ScenarioReport`].
+//!
+//! Every field of a [`FabricSweepReport`] is derived from
+//! [`SweepStats`], which is bit-identical at any thread count — so a
+//! serialized report is byte-identical whether the sweep ran on 1, 2
+//! or 8 workers. The thread count deliberately appears **nowhere** in
+//! the report; `tests/scenarios.rs` pins that property.
+
+use serde::Serialize;
+use shs_fabric::{
+    run_sweep, CostModel, RoutingPolicy, SweepConfig, SweepStats, TopologySpec, TrafficClass,
+};
+
+/// A named cluster-scale fabric sweep: the parallel-engine counterpart
+/// of [`crate::Scenario`].
+#[derive(Debug, Clone)]
+pub struct FabricScenario {
+    /// Scenario name (stable; used by `scenario-run` and `bench-run`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The sweep to run.
+    pub config: SweepConfig,
+}
+
+/// Delivered/dropped counts for one traffic class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FabricClassReport {
+    /// Traffic class name.
+    pub class: String,
+    /// Messages of this class delivered.
+    pub delivered: u64,
+    /// Messages of this class congestion-dropped.
+    pub congestion_drops: u64,
+}
+
+/// One dragonfly group's (= one shard's) slice of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FabricGroupReport {
+    /// Group id.
+    pub group: usize,
+    /// Messages launched by this group's nodes.
+    pub sent: u64,
+    /// Messages delivered to this group's nodes.
+    pub delivered: u64,
+    /// Congestion drops on trunks this group owns.
+    pub congestion_drops: u64,
+}
+
+/// The serialized outcome of one [`FabricScenario`]. Thread-count
+/// independent by construction — every field comes from [`SweepStats`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FabricSweepReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Nodes in the topology.
+    pub nodes: u64,
+    /// Simulation shards (= dragonfly groups).
+    pub shards: usize,
+    /// Conservative lookahead of the run (ns): one trunk step.
+    pub lookahead_ns: u64,
+    /// Routing policy.
+    pub policy: String,
+    /// Messages launched.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages congestion-dropped.
+    pub congestion_drops: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Mean end-to-end latency of delivered messages (ns).
+    pub mean_latency_ns: u64,
+    /// Worst end-to-end latency (ns).
+    pub max_latency_ns: u64,
+    /// Switch hops over all delivered messages.
+    pub switch_hops: u64,
+    /// Per-class delivery counts, [`TrafficClass::ALL`] order.
+    pub by_class: Vec<FabricClassReport>,
+    /// Per-group counters, group order.
+    pub per_group: Vec<FabricGroupReport>,
+    /// DES events executed across all shards.
+    pub events_executed: u64,
+    /// Barrier windows the coordinator ran.
+    pub windows: u64,
+    /// Cross-group events exchanged at window boundaries.
+    pub cross_group_injected: u64,
+    /// Minimum injection slack observed (ns); `null` when no event
+    /// crossed a group boundary. The conservative-sync invariant is
+    /// `≥ 0`.
+    pub min_inject_slack_ns: Option<i64>,
+    /// Conservation + conservative-sync assertions all held.
+    pub passed: bool,
+}
+
+/// Fold [`SweepStats`] into the serialized report.
+fn report_from(sc: &FabricScenario, stats: &SweepStats) -> FabricSweepReport {
+    let slack = stats.min_inject_slack.map(|s| s.clamp(i64::MIN as i128, i64::MAX as i128) as i64);
+    FabricSweepReport {
+        scenario: sc.name.to_string(),
+        description: sc.description.to_string(),
+        nodes: stats.nodes,
+        shards: stats.shards,
+        lookahead_ns: stats.lookahead_ns,
+        policy: format!("{:?}", sc.config.policy),
+        sent: stats.totals.sent,
+        delivered: stats.totals.delivered,
+        congestion_drops: stats.totals.congestion_drops,
+        payload_bytes: stats.totals.payload_bytes,
+        mean_latency_ns: stats.mean_latency_ns(),
+        max_latency_ns: stats.totals.latency_max_ns,
+        switch_hops: stats.totals.switch_hops,
+        by_class: TrafficClass::ALL
+            .iter()
+            .map(|tc| FabricClassReport {
+                class: tc.to_string(),
+                delivered: stats.totals.class_delivered[tc.index()],
+                congestion_drops: stats.totals.class_drops[tc.index()],
+            })
+            .collect(),
+        per_group: stats
+            .per_group
+            .iter()
+            .enumerate()
+            .map(|(g, c)| FabricGroupReport {
+                group: g,
+                sent: c.sent,
+                delivered: c.delivered,
+                congestion_drops: c.congestion_drops,
+            })
+            .collect(),
+        events_executed: stats.events_executed,
+        windows: stats.windows,
+        cross_group_injected: stats.injected,
+        min_inject_slack_ns: slack,
+        passed: stats.conserved() && stats.totals.delivered > 0 && slack.is_none_or(|s| s >= 0),
+    }
+}
+
+/// Run one fabric scenario on `threads` workers and report it. The
+/// report is bit-identical for every `threads` value.
+pub fn run_fabric_scenario(sc: &FabricScenario, threads: usize) -> FabricSweepReport {
+    report_from(sc, &run_sweep(&sc.config, threads))
+}
+
+/// The headline scenario: a 4-group × 8-switch × 32-node (1024-node)
+/// dragonfly, every other message crossing a group boundary.
+fn dragonfly_1024(seed: u64) -> FabricScenario {
+    FabricScenario {
+        name: "dragonfly-1024",
+        description: "1024-node 4-group dragonfly sweep, minimal routing, 50% cross-group",
+        config: SweepConfig {
+            spec: TopologySpec { groups: 4, switches_per_group: 8, edge_ports: 32 },
+            policy: RoutingPolicy::Minimal,
+            nodes_per_switch: 32,
+            messages_per_node: 12,
+            payload_bytes: 8192,
+            interval_ns: 2_000,
+            cross_group_every: 2,
+            seed,
+            model: CostModel::default(),
+        },
+    }
+}
+
+/// Valiant routing at 256 nodes: every message crosses groups, most via
+/// a detour group, so every shard both forwards and delivers.
+fn dragonfly_256_valiant(seed: u64) -> FabricScenario {
+    FabricScenario {
+        name: "dragonfly-256-valiant",
+        description: "256-node 4-group dragonfly, Valiant routing, all messages cross-group",
+        config: SweepConfig {
+            spec: TopologySpec { groups: 4, switches_per_group: 4, edge_ports: 16 },
+            policy: RoutingPolicy::Valiant,
+            nodes_per_switch: 16,
+            messages_per_node: 16,
+            payload_bytes: 4096,
+            interval_ns: 2_000,
+            cross_group_every: 1,
+            seed,
+            model: CostModel::default(),
+        },
+    }
+}
+
+/// Contention pressure: large bursts into finite trunk queues so the
+/// congestion-drop path shows up in the report.
+fn trunk_contended_128(seed: u64) -> FabricScenario {
+    FabricScenario {
+        name: "trunk-contended-128",
+        description: "128-node 2-group dragonfly under burst load; finite trunk queues drop",
+        config: SweepConfig {
+            spec: TopologySpec { groups: 2, switches_per_group: 4, edge_ports: 16 },
+            policy: RoutingPolicy::Minimal,
+            nodes_per_switch: 16,
+            messages_per_node: 16,
+            payload_bytes: 262_144,
+            interval_ns: 500,
+            cross_group_every: 1,
+            seed,
+            model: CostModel::default(),
+        },
+    }
+}
+
+/// The parallel scenario library, smallest first. `dragonfly-1024` is
+/// the headline scale target of the sharded engine.
+pub fn parallel_library(seed: u64) -> Vec<FabricScenario> {
+    vec![trunk_contended_128(seed), dragonfly_256_valiant(seed), dragonfly_1024(seed)]
+}
+
+/// Look up one parallel scenario by name.
+pub fn parallel_by_name(name: &str, seed: u64) -> Option<FabricScenario> {
+    parallel_library(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_names_are_unique_and_resolvable() {
+        let lib = parallel_library(42);
+        for (i, a) in lib.iter().enumerate() {
+            assert!(parallel_by_name(a.name, 42).is_some(), "{}", a.name);
+            for b in &lib[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert!(parallel_by_name("no-such-sweep", 42).is_none());
+    }
+
+    #[test]
+    fn headline_scenario_is_1024_nodes_on_4_shards() {
+        let sc = parallel_by_name("dragonfly-1024", 42).expect("headline scenario");
+        let report = run_fabric_scenario(&sc, 2);
+        assert_eq!(report.nodes, 1024);
+        assert_eq!(report.shards, 4);
+        assert!(report.passed, "{report:?}");
+        assert!(report.delivered > 0);
+        assert_eq!(report.sent, report.delivered + report.congestion_drops);
+        assert!(report.min_inject_slack_ns.expect("cross-group traffic happened") >= 0);
+    }
+
+    #[test]
+    fn contended_scenario_exercises_the_drop_path() {
+        let sc = parallel_by_name("trunk-contended-128", 42).expect("contended scenario");
+        let report = run_fabric_scenario(&sc, 2);
+        assert!(report.passed, "drops are conserved, not failures: {report:?}");
+        assert!(report.congestion_drops > 0, "burst load must overflow a finite trunk queue");
+        let by_class_drops: u64 = report.by_class.iter().map(|c| c.congestion_drops).sum();
+        assert_eq!(by_class_drops, report.congestion_drops);
+    }
+
+    #[test]
+    fn serialized_report_is_thread_count_independent() {
+        let sc = parallel_by_name("dragonfly-256-valiant", 7).expect("library scenario");
+        let base = serde_json::to_string_pretty(&run_fabric_scenario(&sc, 1)).unwrap();
+        for threads in [2usize, 4] {
+            let run = serde_json::to_string_pretty(&run_fabric_scenario(&sc, threads)).unwrap();
+            assert_eq!(run, base, "threads={threads}");
+        }
+        // And the thread count genuinely appears nowhere in the bytes.
+        assert!(!base.contains("thread"));
+    }
+}

@@ -5,8 +5,9 @@
 //! for events beyond the ring's horizon. Near-future scheduling — the
 //! overwhelmingly common case for [`Sim`](crate::Sim)'s real load, the
 //! kubelet/controller scenario engine, whose latencies and backoffs are
-//! milliseconds apart — becomes an array index instead of a heap sift,
-//! and popping scans one small bucket instead of rebalancing.
+//! milliseconds apart — becomes an array index instead of a global heap
+//! sift, and popping touches one small per-bucket heap instead of
+//! rebalancing a queue-wide structure.
 //!
 //! **Ordering contract**: entries pop in strictly ascending `(time,
 //! seq)` order. `seq` is the queue-wide insertion counter, so ties in
@@ -24,15 +25,16 @@
 //!   API writes, 10 ms webhooks, 40 ms kubelet syncs): buckets much
 //!   narrower than that (µs-scale) push nearly every event past the
 //!   ring horizon, so each window advance rescans the whole overflow
-//!   list; buckets much wider (ms-scale) pile a bursty scenario's
-//!   events into one bucket whose linear min-scan every pop then pays
-//!   for. 65.5 µs buckets give a ≈ 16.8 ms horizon that absorbs the
-//!   common control-plane latencies while keeping same-bucket bursts
-//!   short, and measured fastest on both the churn and steady-state
+//!   list; buckets much wider (ms-scale) funnel whole scenarios into a
+//!   few buckets, wasting the day-granular window. 65.5 µs buckets give
+//!   a ≈ 16.8 ms horizon that absorbs the common control-plane
+//!   latencies, and measured fastest on both the churn and steady-state
 //!   scenarios (the ns/µs-scale users — `shs_fabric::pktsim`, test
 //!   rigs — keep few events in flight, so bucket width barely matters
 //!   there; the fabric and MPI data paths never enqueue here at all —
-//!   they advance explicit per-rank virtual-time cursors).
+//!   they advance explicit per-rank virtual-time cursors; the sharded
+//!   fabric sweeps do enqueue µs-scale bursts, which the per-bucket
+//!   heaps below absorb).
 //! * **Ring size** is 256 buckets (≈ 16.8 ms horizon). Events past the
 //!   horizon (kubelet retry backoffs, multi-second job runtimes) wait
 //!   in an unsorted `overflow` list whose minimum *day* (bucket-granular
@@ -42,9 +44,18 @@
 //!   buckets, so within the active window each bucket holds exactly one
 //!   day's events.
 //! * **Occupancy bitmask** (`[u64; 4]`) finds the next non-empty bucket
-//!   without touching 256 `Vec` headers.
-//! * Removal inside a bucket is `swap_remove` — internal bucket order is
-//!   irrelevant because the minimum is selected by `(time, seq)`.
+//!   without touching 256 bucket headers.
+//! * **Buckets are hybrid** (`Bucket`): an unsorted `Vec` popped by
+//!   linear min-scan while small — the fastest structure for the
+//!   handful of entries a bucket usually holds — that promotes itself
+//!   to a binary min-heap on `(time, seq)` once a dense burst crosses
+//!   32 entries. The sharded fabric sweeps push thousands of
+//!   sub-bucket-width events into one bucket, where a per-pop scan
+//!   goes quadratic in the burst size; the heap form keeps dense days
+//!   at `O(log k)` per operation, and demotes back to the `Vec` form
+//!   when drained.
+
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
@@ -64,9 +75,113 @@ pub struct Entry<T> {
     pub item: T,
 }
 
+/// [`Entry`] with inverted `(time, seq)` ordering, so a max-[`BinaryHeap`]
+/// of these behaves as a min-heap on the schedule key. The payload is
+/// deliberately excluded from the comparison (and `seq` is unique
+/// queue-wide, so the order is total without it).
+struct HeapEntry<T>(Entry<T>);
+
+/// A bucket holding more entries than this promotes itself to a heap.
+/// Below it, a linear min-scan per pop is cheaper than heap sifts —
+/// swapping unconditionally to heap buckets measured ~15% slower on the
+/// churn and steady-state scenarios, whose buckets hold a handful of
+/// entries each.
+const PROMOTE_AT: usize = 32;
+
+/// One ring bucket. Starts as an unsorted `Vec` popped by linear
+/// min-scan — the fastest structure for the handful of entries a bucket
+/// usually holds — and promotes itself to a binary min-heap once a
+/// dense burst crosses [`PROMOTE_AT`] (the sharded fabric sweeps push
+/// thousands of sub-bucket-width events into one bucket, where the
+/// per-pop scan went quadratic). Draining a promoted bucket to empty
+/// demotes it back to the `Vec` form, so a one-off burst does not tax
+/// the slot's later (sparse) days.
+enum Bucket<T> {
+    Lin(Vec<Entry<T>>),
+    Heap(BinaryHeap<HeapEntry<T>>),
+}
+
+impl<T> Bucket<T> {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        match self {
+            Bucket::Lin(v) => v.is_empty(),
+            Bucket::Heap(h) => h.is_empty(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, entry: Entry<T>) {
+        match self {
+            Bucket::Lin(v) if v.len() < PROMOTE_AT => v.push(entry),
+            Bucket::Lin(v) => {
+                let mut heap: BinaryHeap<HeapEntry<T>> =
+                    std::mem::take(v).into_iter().map(HeapEntry).collect();
+                heap.push(HeapEntry(entry));
+                *self = Bucket::Heap(heap);
+            }
+            Bucket::Heap(h) => h.push(HeapEntry(entry)),
+        }
+    }
+
+    /// Remove and return the `(time, seq)`-minimal entry. The bucket
+    /// must be non-empty.
+    fn pop_min(&mut self) -> Entry<T> {
+        match self {
+            Bucket::Lin(v) => {
+                debug_assert!(!v.is_empty());
+                let mut mi = 0;
+                for (i, e) in v.iter().enumerate().skip(1) {
+                    let m = &v[mi];
+                    if (e.time, e.seq) < (m.time, m.seq) {
+                        mi = i;
+                    }
+                }
+                v.swap_remove(mi)
+            }
+            Bucket::Heap(h) => {
+                let entry = h.pop().expect("pop_min on an empty bucket").0;
+                if h.is_empty() {
+                    *self = Bucket::Lin(Vec::new());
+                }
+                entry
+            }
+        }
+    }
+
+    /// Due time of the minimal entry, without removing it.
+    fn min_time(&self) -> Option<SimTime> {
+        match self {
+            Bucket::Lin(v) => v.iter().map(|e| e.time).min(),
+            Bucket::Heap(h) => h.peek().map(|e| e.0.time),
+        }
+    }
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.time, self.0.seq) == (other.0.time, other.0.seq)
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: the heap's max is the schedule-order minimum.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
 /// The bucketed calendar queue. See the module docs for the design.
 pub struct CalendarQueue<T> {
-    buckets: Vec<Vec<Entry<T>>>,
+    buckets: Vec<Bucket<T>>,
     /// Bit `b` set ⇔ `buckets[b]` is non-empty.
     occupied: [u64; WORDS],
     /// Events whose day lies at or past `base_day + NBUCKETS`.
@@ -93,7 +208,7 @@ impl<T> CalendarQueue<T> {
     /// An empty queue with its window starting at time zero.
     pub fn new() -> Self {
         CalendarQueue {
-            buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            buckets: (0..NBUCKETS).map(|_| Bucket::Lin(Vec::new())).collect(),
             occupied: [0; WORDS],
             overflow: Vec::new(),
             overflow_min_day: u64::MAX,
@@ -139,9 +254,9 @@ impl<T> CalendarQueue<T> {
 
     /// Remove and return the entry with the smallest `(time, seq)`.
     pub fn pop(&mut self) -> Option<Entry<T>> {
-        let (b, i) = self.settle()?;
+        let b = self.settle()?;
         let bucket = &mut self.buckets[b];
-        let entry = bucket.swap_remove(i);
+        let entry = bucket.pop_min();
         if bucket.is_empty() {
             self.occupied[b / 64] &= !(1 << (b % 64));
         }
@@ -153,8 +268,8 @@ impl<T> CalendarQueue<T> {
     /// because reaching the head may migrate overflow entries into the
     /// ring (which changes no ordering, only internal placement).
     pub fn next_time(&mut self) -> Option<SimTime> {
-        let (b, i) = self.settle()?;
-        Some(self.buckets[b][i].time)
+        let b = self.settle()?;
+        self.buckets[b].min_time()
     }
 
     /// Due time of the earliest entry, **only if** it is at or before
@@ -180,9 +295,42 @@ impl<T> CalendarQueue<T> {
         self.next_time().filter(|&t| t <= deadline)
     }
 
+    /// Due time of the earliest entry without mutating the queue at
+    /// all — no window slide, no overflow migration. This is the peek
+    /// the parallel coordinator ([`ParallelSim`](crate::ParallelSim))
+    /// needs between barrier windows: it must take the minimum over
+    /// *every* shard's queue before deciding the next window, and a
+    /// mutating peek ([`next_time`](Self::next_time)) on one shard
+    /// would slide that ring's window up to its local head, after
+    /// which a cross-shard injection below the slid window would
+    /// corrupt the slot↔day mapping.
+    ///
+    /// Costs one bucket peek (`O(1)` for a promoted bucket, a short
+    /// scan otherwise) plus one overflow scan (the overflow list is
+    /// unsorted), so it is a between-windows operation, not a per-pop
+    /// one.
+    pub fn peek_min_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        // Within the active window each bucket holds exactly one day's
+        // events and day order is time order, so the ring's minimum
+        // lives in the first occupied day's bucket.
+        let ring_min = self.first_occupied_day().and_then(|d| {
+            let b = (d & DAY_MASK) as usize;
+            self.buckets[b].min_time()
+        });
+        let overflow_min = self.overflow.iter().map(|e| e.time).min();
+        match (ring_min, overflow_min) {
+            (Some(r), Some(o)) => Some(r.min(o)),
+            (r, o) => r.or(o),
+        }
+    }
+
     /// Advance the window until the globally-minimal entry is in the
-    /// ring, and return its (bucket, index) position.
-    fn settle(&mut self) -> Option<(usize, usize)> {
+    /// ring, and return its bucket (the minimum is that bucket's
+    /// minimal entry).
+    fn settle(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
@@ -194,16 +342,8 @@ impl<T> CalendarQueue<T> {
                 Some(d) if d < self.overflow_min_day => {
                     self.base_day = d;
                     let b = (d & DAY_MASK) as usize;
-                    let bucket = &self.buckets[b];
-                    debug_assert!(!bucket.is_empty());
-                    let mut mi = 0;
-                    for (i, e) in bucket.iter().enumerate().skip(1) {
-                        let m = &bucket[mi];
-                        if (e.time, e.seq) < (m.time, m.seq) {
-                            mi = i;
-                        }
-                    }
-                    return Some((b, mi));
+                    debug_assert!(!self.buckets[b].is_empty());
+                    return Some(b);
                 }
                 // Overflow owns the next day (or ties it): slide the
                 // window there and migrate what now fits. At least the
@@ -353,6 +493,74 @@ mod tests {
         assert_eq!(q.len(), 2, "peek must not remove");
         assert_eq!(q.pop().unwrap().item, 8);
         assert_eq!(q.next_time(), Some(SimTime::from_nanos(42)));
+    }
+
+    #[test]
+    fn declined_peek_does_not_advance_the_window() {
+        // The latent hazard behind shard-local windows: a coordinator
+        // peeks one shard's queue with a deadline earlier than that
+        // shard's head, gets `None`, and then a *different* shard's
+        // window injects a cross-group event between the deadline and
+        // the declined head. If the decline had slid the ring window up
+        // to the far head, the injection would land behind `base_day`
+        // and corrupt the slot↔day mapping (debug_assert in `push`).
+        let horizon = CalendarQueue::<u32>::BUCKET_NS * NBUCKETS as u64;
+        let mut q = CalendarQueue::new();
+        // Drain up to 2×horizon so the window is genuinely mid-flight.
+        q.push(SimTime::from_nanos(2 * horizon), 0, 0);
+        q.pop().unwrap();
+        // Far head, then a declined peek at a much earlier deadline.
+        q.push(SimTime::from_nanos(9 * horizon + 123), 1, 0);
+        assert_eq!(q.next_time_at_most(SimTime::from_nanos(2 * horizon + 500)), None);
+        // A cross-window injection below the declined head — but at or
+        // past the deadline — must still be accepted and pop first.
+        q.push(SimTime::from_nanos(2 * horizon + 700), 2, 0);
+        q.push(SimTime::from_nanos(3 * horizon), 3, 0);
+        assert_eq!(
+            drain(&mut q),
+            vec![(2 * horizon + 700, 2), (3 * horizon, 3), (9 * horizon + 123, 1)]
+        );
+    }
+
+    #[test]
+    fn peek_min_time_is_exact_and_non_mutating() {
+        let horizon = CalendarQueue::<u32>::BUCKET_NS * NBUCKETS as u64;
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        assert_eq!(q.peek_min_time(), None);
+        // Overflow-only minimum.
+        q.push(SimTime::from_nanos(7 * horizon + 9), 0, 0);
+        assert_eq!(q.peek_min_time(), Some(SimTime::from_nanos(7 * horizon + 9)));
+        // A nearer ring entry takes over; the far one stays in overflow.
+        q.push(SimTime::from_nanos(4096), 1, 0);
+        q.push(SimTime::from_nanos(12), 2, 0);
+        assert_eq!(q.peek_min_time(), Some(SimTime::from_nanos(12)));
+        // Crucially the peeks above must not have slid the window: a
+        // push below the overflow head (but above the true min) is fine.
+        q.push(SimTime::from_nanos(100), 3, 0);
+        assert_eq!(
+            drain(&mut q),
+            vec![(12, 2), (100, 3), (4096, 1), (7 * horizon + 9, 0)]
+        );
+    }
+
+    #[test]
+    fn dense_bucket_promotes_and_demotes_without_reordering() {
+        // Cross PROMOTE_AT within one bucket (promote), drain to empty
+        // (demote), then reuse the same slot sparsely — order must be
+        // (time, seq)-exact throughout.
+        let mut q = CalendarQueue::new();
+        let mut expect = Vec::new();
+        for seq in 0..(3 * PROMOTE_AT as u64) {
+            let t = 1 + (seq * 37) % 4000; // scrambled, all in bucket 0
+            q.push(SimTime::from_nanos(t), seq, 0);
+            expect.push((t, seq));
+        }
+        expect.sort();
+        assert_eq!(drain(&mut q), expect);
+        // The slot was demoted on drain; sparse reuse still works.
+        q.push(SimTime::from_nanos(4100), 1000, 0);
+        q.push(SimTime::from_nanos(4050), 1001, 0);
+        assert_eq!(drain(&mut q), vec![(4050, 1001), (4100, 1000)]);
     }
 
     #[test]

@@ -23,13 +23,24 @@
 //! assert_eq!(sim.now().as_nanos(), 1_100);
 //! ```
 
+//!
+//! For cluster-scale models the serial [`Sim`] loop has a parallel twin:
+//! [`ShardSim`] shards (one per switch group, each with its own calendar
+//! queue) under the conservative barrier-window coordinator
+//! [`ParallelSim`], whose results are bit-identical at any thread count
+//! — see the [`parallel`] module docs for the synchronisation algebra.
+
 pub mod calendar;
+pub mod parallel;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
+pub use parallel::ParallelSim;
 pub use rng::DetRng;
+pub use shard::{Remote, ShardEventFn, ShardId, ShardSim};
 pub use sim::{EventFn, Sim};
 pub use time::{SimDur, SimTime};

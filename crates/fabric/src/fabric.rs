@@ -21,13 +21,15 @@ use crate::topology::{RoutingPolicy, Topology, TopologySpec};
 use crate::types::{NicAddr, PortId, SwitchId, TrafficClass, Vni};
 
 /// Per-port edge-link occupancy (full duplex: separate up/down
-/// directions), with the legacy scalar busy-until semantics.
+/// directions), with the legacy scalar busy-until semantics. Shared
+/// with the sharded engine in [`crate::shardsim`], which models the
+/// same edge links per group.
 #[derive(Debug, Clone, Copy, Default)]
-struct LinkState {
+pub(crate) struct LinkState {
     /// Node→switch direction busy until this instant.
-    up_busy: SimTime,
+    pub(crate) up_busy: SimTime,
     /// Switch→node direction busy until this instant.
-    down_busy: SimTime,
+    pub(crate) down_busy: SimTime,
 }
 
 /// Per-traffic-class counters of one directed trunk link (or, via
@@ -46,11 +48,54 @@ pub struct TrunkClassCounters {
 }
 
 /// One directed inter-switch link: per-class busy horizons (the
-/// weighted-sharing state) plus per-class counters.
+/// weighted-sharing state) plus per-class counters. The timing math
+/// lives in [`TrunkState::traverse`] so the serial [`Fabric`] and the
+/// sharded engine ([`crate::shardsim`]) stay bit-identical per hop.
 #[derive(Debug, Clone, Default)]
-struct TrunkState {
+pub(crate) struct TrunkState {
     cls_busy: [SimTime; 4],
-    counters: [TrunkClassCounters; 4],
+    pub(crate) counters: [TrunkClassCounters; 4],
+}
+
+impl TrunkState {
+    /// One message crossing this directed trunk: the per-class
+    /// finite-queue check plus weighted-processor-sharing bookkeeping.
+    /// Returns `(start, finish)` — the instants the head enters the
+    /// link and the last byte clears it at the class's weighted share
+    /// of the link rate — or `Err(queued_ns)` when the class queue
+    /// exceeds `queue_bound_ns` (the congestion drop is already
+    /// counted on this trunk; the caller books tenant/switch counters).
+    pub(crate) fn traverse(
+        &mut self,
+        tc: TrafficClass,
+        ser_ns: u64,
+        len: u64,
+        head_t: SimTime,
+        queue_bound_ns: u64,
+    ) -> Result<(SimTime, SimTime), u64> {
+        let cls = tc.index();
+        let start = head_t.max(self.cls_busy[cls]);
+        let queued_ns = (start - head_t).as_nanos();
+        if queued_ns > queue_bound_ns {
+            self.counters[cls].congestion_drops += 1;
+            return Err(queued_ns);
+        }
+        // Weighted processor sharing across the classes backlogged at
+        // `start`: class `tc` drains at weight(tc)/Σ weights of the
+        // link rate, so its serialization stretches by the inverse
+        // share (1x when it has the trunk to itself).
+        let active: u64 = TrafficClass::ALL
+            .iter()
+            .filter(|c| c.index() == cls || self.cls_busy[c.index()] > start)
+            .map(|c| c.weight() as u64)
+            .sum();
+        let ser_eff = SimDur::from_nanos(ser_ns * active / tc.weight() as u64);
+        self.cls_busy[cls] = start + ser_eff;
+        self.counters[cls].messages += 1;
+        self.counters[cls].payload_bytes += len;
+        self.counters[cls].queued_ns_max = self.counters[cls].queued_ns_max.max(queued_ns);
+        Ok((start, start + ser_eff))
+    }
 }
 
 /// Outcome of a message-level transfer.
@@ -541,35 +586,17 @@ impl Fabric {
         vni: Vni,
         head_t: SimTime,
     ) -> Result<(SimTime, SimTime), TransferOutcome> {
-        let cls = tc.index();
         let n = self.topo.switch_count();
         let ti = self.trunk_idx[a * n + b];
         debug_assert!(ti != u32::MAX, "route follows topology links");
-        let trunk = &mut self.trunks[ti as usize];
-        let start = head_t.max(trunk.cls_busy[cls]);
-        let queued_ns = (start - head_t).as_nanos();
-        if queued_ns > self.model.trunk_queue_ns {
-            trunk.counters[cls].congestion_drops += 1;
-            self.traffic_mut(vni).congestion_drops += 1;
-            return Err(TransferOutcome::Dropped(
-                self.switches[a].note_drop(DropReason::Congested),
-            ));
+        match self.trunks[ti as usize].traverse(tc, ser_ns, len, head_t, self.model.trunk_queue_ns)
+        {
+            Ok(window) => Ok(window),
+            Err(_queued_ns) => {
+                self.traffic_mut(vni).congestion_drops += 1;
+                Err(TransferOutcome::Dropped(self.switches[a].note_drop(DropReason::Congested)))
+            }
         }
-        // Weighted processor sharing across the classes backlogged at
-        // `start`: class `tc` drains at weight(tc)/Σ weights of the link
-        // rate, so its serialization stretches by the inverse share (1x
-        // when it has the trunk to itself).
-        let active: u64 = TrafficClass::ALL
-            .iter()
-            .filter(|c| c.index() == cls || trunk.cls_busy[c.index()] > start)
-            .map(|c| c.weight() as u64)
-            .sum();
-        let ser_eff = SimDur::from_nanos(ser_ns * active / tc.weight() as u64);
-        trunk.cls_busy[cls] = start + ser_eff;
-        trunk.counters[cls].messages += 1;
-        trunk.counters[cls].payload_bytes += len;
-        trunk.counters[cls].queued_ns_max = trunk.counters[cls].queued_ns_max.max(queued_ns);
-        Ok((start, start + ser_eff))
     }
 
     /// Packet-level variant used by the packet-granular data path and the

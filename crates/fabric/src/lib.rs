@@ -21,10 +21,15 @@
 //! arrival instants; the composition layer schedules the actual events.
 //! See `FABRIC.md` at the repository root for the topology model, the
 //! routing scheme, and the packet path end to end.
+//!
+//! For cluster-scale sweeps (1000+ nodes) the [`shardsim`] module runs
+//! the same per-hop timing model sharded per dragonfly group under
+//! `shs_des::ParallelSim` — bit-identical results at any thread count.
 
 pub mod fabric;
 pub mod packet;
 pub mod pktsim;
+pub mod shardsim;
 pub mod switch;
 pub mod topology;
 pub mod types;
@@ -35,5 +40,6 @@ pub use fabric::{
 pub use pktsim::{simulate_contention, ClassStats, Flow};
 pub use packet::{segment, CostModel, Packet};
 pub use switch::{DropReason, Switch, SwitchConfig, SwitchCounters, Verdict, WrrArbiter};
-pub use topology::{RoutingPolicy, Topology, TopologySpec};
+pub use shardsim::{run_sweep, trunk_lookahead, GroupCounters, GroupNet, SweepConfig, SweepStats};
+pub use topology::{GroupView, RoutingPolicy, Topology, TopologySpec};
 pub use types::{NicAddr, PortId, SwitchId, TrafficClass, Vni};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE]
+//!           [--threads LIST]
 //! ```
 //!
 //! Times the control-plane hot paths the paper's VNI Database serializes
@@ -38,6 +39,14 @@
 //!
 //! Scenarios (`churn`, `steady-state`) run once under the DES clock;
 //! their event counts are deterministic, their wall-clock is not.
+//!
+//! The **parallel scaling curve**: the 1024-node `dragonfly-1024`
+//! fabric sweep runs once per `--threads` entry (default `1,2,4`) under
+//! the sharded engine, emitting one `dragonfly-1024-t<N>` scenario row
+//! each — the events/sec trajectory across worker counts. The run
+//! asserts the sweep's event count and counters are identical at every
+//! thread count before reporting; a `"parallel"` block records the
+//! deterministic shape (nodes, shards, windows, cross-group events).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -47,9 +56,12 @@ use shs_harness::gate::{self, GateCheck};
 use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
 use slingshot_k8s::{
-    by_name, run_scenario, AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload,
-    VniDb,
+    by_name, parallel_by_name, run_fabric_scenario, run_scenario, AcquireReleaseWorkload,
+    ChurnHotWorkload, FabricSweepReport, FabricTransferHotWorkload, VniDb,
 };
+
+/// The parallel scaling-curve subject: the 1024-node library sweep.
+const PARALLEL_SCENARIO: &str = "dragonfly-1024";
 
 /// How many fresh measurements a first-pass gate regression earns
 /// before the gate fails it. The entry keeps its **best** measurement
@@ -62,6 +74,9 @@ struct Opts {
     gate: bool,
     label: String,
     out: Option<PathBuf>,
+    /// Worker counts for the parallel scaling curve (one scenario row
+    /// per entry).
+    threads: Vec<usize>,
 }
 
 /// Sample/iteration budgets shared by the first measurement pass and
@@ -75,13 +90,32 @@ struct Budgets {
 }
 
 fn parse_args() -> Opts {
-    let mut opts =
-        Opts { quick: false, baseline: None, gate: false, label: "bench-run".into(), out: None };
+    let mut opts = Opts {
+        quick: false,
+        baseline: None,
+        gate: false,
+        label: "bench-run".into(),
+        out: None,
+        threads: vec![1, 2, 4],
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--gate" => opts.gate = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage("--threads needs a list, e.g. 1,2,4"));
+                opts.threads = v
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => usage("--threads entries must be integers >= 1"),
+                    })
+                    .collect();
+                if opts.threads.is_empty() {
+                    usage("--threads needs at least one entry");
+                }
+            }
             "--baseline" => {
                 let v = args.next().unwrap_or_else(|| usage("--baseline needs a path"));
                 opts.baseline = Some(PathBuf::from(v));
@@ -104,7 +138,10 @@ fn parse_args() -> Opts {
 
 fn usage(msg: &str) -> ! {
     eprintln!("bench-run: {msg}");
-    eprintln!("usage: bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE]");
+    eprintln!(
+        "usage: bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE] \
+         [--threads LIST]"
+    );
     std::process::exit(2);
 }
 
@@ -219,6 +256,24 @@ fn run_scenario_timed(name: &str) -> (u64, f64) {
     (report.events_executed, start.elapsed().as_secs_f64())
 }
 
+/// Run the parallel library sweep on `threads` workers, returning the
+/// (thread-count-independent) report and the wall seconds.
+fn run_parallel_timed(threads: usize) -> (FabricSweepReport, f64) {
+    let sweep = parallel_by_name(PARALLEL_SCENARIO, 42).expect("parallel library scenario");
+    let start = Instant::now();
+    let report = run_fabric_scenario(&sweep, threads);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(report.passed, "bench sweep must conserve messages: {report:?}");
+    (report, wall_s)
+}
+
+/// `"dragonfly-1024-t<N>"` → `N`: the thread count a scaling-curve
+/// scenario row was measured at (gate re-measurement needs it back).
+fn parallel_row_threads(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix(PARALLEL_SCENARIO)?.strip_prefix("-t")?;
+    rest.parse().ok()
+}
+
 /// Baseline medians from a previous bench-run output, keyed by name.
 fn baseline_map(path: &PathBuf, section: &str, field: &str) -> Vec<(String, f64)> {
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -283,7 +338,11 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
             let (events, wall_s) = run_scenario_timed(name);
             (events as f64 / wall_s, Some(wall_s * 1e3))
         }
-        _ => return None,
+        _ => {
+            let threads = parallel_row_threads(name)?;
+            let (report, wall_s) = run_parallel_timed(threads);
+            (report.events_executed as f64 / wall_s, Some(wall_s * 1e3))
+        }
     })
 }
 
@@ -397,6 +456,26 @@ fn main() {
         }));
     }
 
+    // The parallel scaling curve: the same 1024-node sweep at each
+    // worker count. Bit-identical results are asserted here — only the
+    // wall-clock (and so events/sec) may differ between rows.
+    let mut parallel_shape: Option<FabricSweepReport> = None;
+    for &threads in &opts.threads {
+        eprintln!("bench-run: running scenario {PARALLEL_SCENARIO} (threads={threads}) ...");
+        let (report, wall_s) = run_parallel_timed(threads);
+        if let Some(base) = &parallel_shape {
+            assert_eq!(&report, base, "sweep diverged at threads={threads}");
+        }
+        scenarios.push(json!({
+            "name": format!("{PARALLEL_SCENARIO}-t{threads}"),
+            "threads": threads,
+            "events_executed": report.events_executed,
+            "wall_ms": round1(wall_s * 1e3),
+            "events_per_sec": round1(report.events_executed as f64 / wall_s),
+        }));
+        parallel_shape.get_or_insert(report);
+    }
+
     let mut gate_report = None;
     if let Some(path) = &opts.baseline {
         let bench_base = baseline_map(path, "benchmarks", "median_ns_per_op");
@@ -412,12 +491,27 @@ fn main() {
         }
     }
 
+    // The deterministic shape of the parallel sweep — identical at
+    // every thread count (asserted above), so recorded once.
+    let parallel = parallel_shape.as_ref().map(|r| {
+        json!({
+            "scenario": PARALLEL_SCENARIO,
+            "nodes": r.nodes,
+            "shards": r.shards,
+            "lookahead_ns": r.lookahead_ns,
+            "events_executed": r.events_executed,
+            "windows": r.windows,
+            "cross_group_injected": r.cross_group_injected,
+        })
+    });
+
     let doc = json!({
         "schema": "shs-bench/v1",
         "label": opts.label,
         "quick": opts.quick,
         "benchmarks": benchmarks,
         "scenarios": scenarios,
+        "parallel": parallel,
         "allocator_counters": allocator_counters(churn_workload.db()),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");

@@ -2,32 +2,40 @@
 //! library and emit a JSON report.
 //!
 //! ```text
-//! scenario-run [all|<scenario-name>] [--seed N] [--out FILE] [--list]
+//! scenario-run [all|<scenario-name>] [--seed N] [--threads N] [--out FILE] [--list]
 //! ```
 //!
-//! Runs each scenario's full job lifecycle (admission → CNI chain → VNI
-//! allocation → CXI service → fabric traffic → teardown) under the
-//! deterministic DES clock and prints one JSON document: a `"reports"`
-//! array (one [`ScenarioReport`] per scenario) followed by a
-//! `"run_metrics"` block (wall-clock, DES events executed, events/sec,
-//! VNI database transactions). For a fixed seed the `"reports"` section
-//! is byte-identical across runs; wall-clock throughput lives **only**
-//! in `"run_metrics"`, after it, so determinism checks compare
-//! everything up to that key. Exits non-zero if any scenario's
-//! isolation assertions fail (cross-VNI delivery, quarantine violation,
-//! leaked service, stale grant, or misplacement).
+//! Runs each k8s scenario's full job lifecycle (admission → CNI chain →
+//! VNI allocation → CXI service → fabric traffic → teardown) under the
+//! deterministic DES clock, plus the cluster-scale **parallel fabric
+//! sweeps** (256–1024-node dragonfly topologies sharded per group), and
+//! prints one JSON document: a `"parallel_reports"` array (one
+//! [`FabricSweepReport`] per sweep), a `"reports"` array (one
+//! [`ScenarioReport`] per k8s scenario), then a `"run_metrics"` block
+//! (wall-clock, DES events executed, events/sec, VNI database
+//! transactions). For a fixed seed both report sections are
+//! byte-identical across runs **and across `--threads` values** —
+//! `--threads` only chooses how many workers drive the sharded sweeps;
+//! wall-clock throughput lives only in `"run_metrics"`, after them.
+//! Exits non-zero if any scenario's assertions fail (isolation for the
+//! k8s library; conservation and conservative-sync for the sweeps).
 //!
 //! [`ScenarioReport`]: slingshot_k8s::ScenarioReport
+//! [`FabricSweepReport`]: slingshot_k8s::FabricSweepReport
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use shs_harness::{scenario_run_document, RunMetrics};
-use slingshot_k8s::{by_name, library, run_scenario, ScenarioReport};
+use slingshot_k8s::{
+    by_name, library, parallel_by_name, parallel_library, run_fabric_scenario, run_scenario,
+    FabricScenario, FabricSweepReport, Scenario, ScenarioReport,
+};
 
 struct Opts {
     cmd: String,
     seed: u64,
+    threads: usize,
     out: Option<PathBuf>,
     list: bool,
 }
@@ -38,12 +46,19 @@ fn parse_args() -> Opts {
         Some(a) if !a.starts_with("--") => args.next().expect("peeked"),
         _ => "all".to_string(),
     };
-    let mut opts = Opts { cmd, seed: 42, out: None, list: false };
+    let mut opts = Opts { cmd, seed: 42, threads: 1, out: None, list: false };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
                 opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be numeric"));
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage("--threads needs a value"));
+                opts.threads = v.parse().unwrap_or_else(|_| usage("--threads must be numeric"));
+                if opts.threads == 0 {
+                    usage("--threads must be >= 1");
+                }
             }
             "--out" => {
                 let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
@@ -58,27 +73,31 @@ fn parse_args() -> Opts {
 
 fn usage(msg: &str) -> ! {
     eprintln!("scenario-run: {msg}");
-    eprintln!("usage: scenario-run [all|<scenario-name>] [--seed N] [--out FILE] [--list]");
+    eprintln!(
+        "usage: scenario-run [all|<scenario-name>] [--seed N] [--threads N] [--out FILE] [--list]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let opts = parse_args();
     // Validate the positional scenario name first so a typo exits 2
-    // even when combined with --list.
-    let scenarios = if opts.cmd == "all" {
-        library(opts.seed)
+    // even when combined with --list. A name resolves in the k8s
+    // library or the parallel sweep library.
+    let (scenarios, sweeps): (Vec<Scenario>, Vec<FabricScenario>) = if opts.cmd == "all" {
+        (library(opts.seed), parallel_library(opts.seed))
+    } else if let Some(s) = by_name(&opts.cmd, opts.seed) {
+        (vec![s], vec![])
+    } else if let Some(s) = parallel_by_name(&opts.cmd, opts.seed) {
+        (vec![], vec![s])
     } else {
-        match by_name(&opts.cmd, opts.seed) {
-            Some(s) => vec![s],
-            None => usage(&format!(
-                "unknown scenario {:?}; use --list to see the library",
-                opts.cmd
-            )),
-        }
+        usage(&format!("unknown scenario {:?}; use --list to see the library", opts.cmd))
     };
     if opts.list {
         for s in library(opts.seed) {
+            println!("{:<22} {}", s.name, s.description);
+        }
+        for s in parallel_library(opts.seed) {
             println!("{:<22} {}", s.name, s.description);
         }
         return;
@@ -92,9 +111,16 @@ fn main() {
             run_scenario(s)
         })
         .collect();
-    let metrics = RunMetrics::from_reports(&reports, started.elapsed().as_secs_f64());
+    let parallel: Vec<FabricSweepReport> = sweeps
+        .iter()
+        .map(|s| {
+            eprintln!("running {} (threads={}) ...", s.name, opts.threads);
+            run_fabric_scenario(s, opts.threads)
+        })
+        .collect();
+    let metrics = RunMetrics::from_run(&reports, &parallel, started.elapsed().as_secs_f64());
 
-    let doc = scenario_run_document(&reports, &metrics);
+    let doc = scenario_run_document(&reports, &parallel, &metrics);
     let json = serde_json::to_string_pretty(&doc).expect("reports serialize");
     println!("{json}");
     if let Some(path) = &opts.out {
@@ -109,10 +135,11 @@ fn main() {
         .iter()
         .filter(|r| !r.passed)
         .map(|r| r.scenario.as_str())
+        .chain(parallel.iter().filter(|r| !r.passed).map(|r| r.scenario.as_str()))
         .collect();
     if !failed.is_empty() {
-        eprintln!("FAILED isolation assertions: {}", failed.join(", "));
+        eprintln!("FAILED scenario assertions: {}", failed.join(", "));
         std::process::exit(1);
     }
-    eprintln!("{} scenario(s) passed", reports.len());
+    eprintln!("{} scenario(s) passed", reports.len() + parallel.len());
 }

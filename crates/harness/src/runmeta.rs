@@ -3,14 +3,20 @@
 //! The scenario reports themselves are **byte-deterministic** for a
 //! fixed seed; wall-clock throughput is not. This module keeps the two
 //! apart: [`scenario_run_document`] emits one JSON object whose
-//! `"reports"` key (the determinism-checked section) serializes first
-//! and whose `"run_metrics"` key — the only place wall-clock time and
-//! events/sec appear — serializes after it. Comparing two runs up to
-//! the `"run_metrics"` key is exactly the old whole-output comparison.
+//! `"parallel_reports"` and `"reports"` keys (the determinism-checked
+//! sections) serialize first and whose `"run_metrics"` key — the only
+//! place wall-clock time and events/sec appear — serializes after
+//! them. Comparing two runs up to the `"run_metrics"` key is exactly
+//! the old whole-output comparison.
+//!
+//! The `"parallel_reports"` section holds the cluster-scale fabric
+//! sweeps ([`FabricSweepReport`]) run under the sharded engine; its
+//! bytes are additionally identical across `--threads` values — the
+//! thread count appears nowhere in it.
 
 use serde::Serialize;
 use serde_json::Value;
-use slingshot_k8s::ScenarioReport;
+use slingshot_k8s::{FabricSweepReport, ScenarioReport};
 
 /// Wall-clock metrics of one `scenario-run` invocation.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -18,7 +24,8 @@ pub struct RunMetrics {
     /// Total wall-clock across all scenarios, in milliseconds.
     /// **Non-deterministic** — lives outside the checked section.
     pub wall_clock_ms: f64,
-    /// DES events executed across all scenarios (deterministic).
+    /// DES events executed across all scenarios — k8s and parallel
+    /// fabric sweeps alike (deterministic).
     pub des_events_executed: u64,
     /// Events per wall-clock second (non-deterministic).
     pub events_per_sec: f64,
@@ -30,7 +37,18 @@ impl RunMetrics {
     /// Fold per-scenario reports and a measured wall-clock into the
     /// run-level metrics block.
     pub fn from_reports(reports: &[ScenarioReport], wall_clock_secs: f64) -> Self {
-        let des_events_executed = reports.iter().map(|r| r.events_executed).sum();
+        Self::from_run(reports, &[], wall_clock_secs)
+    }
+
+    /// [`RunMetrics::from_reports`], plus the parallel fabric sweeps:
+    /// their shard events count toward the run's event total.
+    pub fn from_run(
+        reports: &[ScenarioReport],
+        parallel: &[FabricSweepReport],
+        wall_clock_secs: f64,
+    ) -> Self {
+        let des_events_executed = reports.iter().map(|r| r.events_executed).sum::<u64>()
+            + parallel.iter().map(|r| r.events_executed).sum::<u64>();
         let vni_txns = reports.iter().map(|r| r.vni.txn_count).sum();
         let events_per_sec = if wall_clock_secs > 0.0 {
             (des_events_executed as f64 / wall_clock_secs * 10.0).round() / 10.0
@@ -46,11 +64,17 @@ impl RunMetrics {
     }
 }
 
-/// The full `scenario-run` output document: deterministic `"reports"`
-/// first, `"run_metrics"` after (JSON object keys serialize in BTree
-/// order, and `"reports"` < `"run_metrics"`).
-pub fn scenario_run_document(reports: &[ScenarioReport], metrics: &RunMetrics) -> Value {
+/// The full `scenario-run` output document: the deterministic sections
+/// first — `"parallel_reports"`, then `"reports"` — and `"run_metrics"`
+/// after them (JSON object keys serialize in BTree order, and both
+/// report keys sort before `"run_metrics"`).
+pub fn scenario_run_document(
+    reports: &[ScenarioReport],
+    parallel: &[FabricSweepReport],
+    metrics: &RunMetrics,
+) -> Value {
     serde_json::json!({
+        "parallel_reports": parallel,
         "reports": reports,
         "run_metrics": metrics,
     })
@@ -60,7 +84,9 @@ pub fn scenario_run_document(reports: &[ScenarioReport], metrics: &RunMetrics) -
 mod tests {
     use super::*;
     use shs_des::SimDur;
-    use slingshot_k8s::{run_scenario, JobPlan, Scenario, VniMode};
+    use slingshot_k8s::{
+        parallel_by_name, run_fabric_scenario, run_scenario, JobPlan, Scenario, VniMode,
+    };
 
     fn tiny_report() -> ScenarioReport {
         let scenario = Scenario {
@@ -86,6 +112,11 @@ mod tests {
         run_scenario(&scenario)
     }
 
+    fn tiny_parallel_report() -> FabricSweepReport {
+        let sc = parallel_by_name("trunk-contended-128", 5).expect("library sweep");
+        run_fabric_scenario(&sc, 2)
+    }
+
     #[test]
     fn metrics_fold_deterministic_fields_from_reports() {
         let r = tiny_report();
@@ -97,14 +128,27 @@ mod tests {
     }
 
     #[test]
-    fn reports_section_serializes_before_run_metrics() {
+    fn metrics_count_parallel_sweep_events() {
         let r = tiny_report();
-        let m = RunMetrics::from_reports(std::slice::from_ref(&r), 0.25);
-        let doc = scenario_run_document(std::slice::from_ref(&r), &m);
+        let p = tiny_parallel_report();
+        assert!(p.events_executed > 0);
+        let m = RunMetrics::from_run(std::slice::from_ref(&r), std::slice::from_ref(&p), 0.5);
+        assert_eq!(m.des_events_executed, r.events_executed + p.events_executed);
+        assert_eq!(m.vni_txns, r.vni.txn_count, "sweeps run no VNI transactions");
+    }
+
+    #[test]
+    fn report_sections_serialize_before_run_metrics() {
+        let r = tiny_report();
+        let p = tiny_parallel_report();
+        let m = RunMetrics::from_run(std::slice::from_ref(&r), std::slice::from_ref(&p), 0.25);
+        let doc = scenario_run_document(std::slice::from_ref(&r), std::slice::from_ref(&p), &m);
         let text = serde_json::to_string_pretty(&doc).unwrap();
+        let parallel_at = text.find("\"parallel_reports\"").expect("parallel_reports key");
         let reports_at = text.find("\"reports\"").expect("reports key");
         let metrics_at = text.find("\"run_metrics\"").expect("run_metrics key");
-        assert!(reports_at < metrics_at, "determinism-checked section must come first");
+        assert!(parallel_at < reports_at, "deterministic sections lead the document");
+        assert!(reports_at < metrics_at, "determinism-checked sections must come first");
         assert!(
             text.find("\"wall_clock_ms\"").expect("wall clock") > metrics_at,
             "wall-clock lives only inside run_metrics"
@@ -115,19 +159,27 @@ mod tests {
     fn determinism_checked_section_ignores_wall_clock() {
         let r1 = tiny_report();
         let r2 = tiny_report();
+        let p1 = tiny_parallel_report();
+        let p2 = tiny_parallel_report();
         // Two runs with very different wall-clocks...
         let d1 = scenario_run_document(
             std::slice::from_ref(&r1),
-            &RunMetrics::from_reports(std::slice::from_ref(&r1), 0.1),
+            std::slice::from_ref(&p1),
+            &RunMetrics::from_run(std::slice::from_ref(&r1), std::slice::from_ref(&p1), 0.1),
         );
         let d2 = scenario_run_document(
             std::slice::from_ref(&r2),
-            &RunMetrics::from_reports(std::slice::from_ref(&r2), 9.9),
+            std::slice::from_ref(&p2),
+            &RunMetrics::from_run(std::slice::from_ref(&r2), std::slice::from_ref(&p2), 9.9),
         );
-        // ...agree byte-for-byte on the reports section.
+        // ...agree byte-for-byte on the deterministic sections.
         assert_eq!(
             serde_json::to_string_pretty(&d1["reports"]).unwrap(),
             serde_json::to_string_pretty(&d2["reports"]).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&d1["parallel_reports"]).unwrap(),
+            serde_json::to_string_pretty(&d2["parallel_reports"]).unwrap()
         );
         assert_ne!(d1["run_metrics"], d2["run_metrics"]);
     }

@@ -1,8 +1,9 @@
 //! End-to-end checks over the named scenario library: every scenario
 //! must pass its isolation assertions, and a fixed seed must reproduce
-//! the JSON report byte for byte (the `scenario-run` contract).
+//! the JSON report byte for byte (the `scenario-run` contract) — for
+//! the parallel fabric sweeps, byte for byte **at every thread count**.
 
-use slingshot_k8s::{library, run_scenario};
+use slingshot_k8s::{library, parallel_by_name, parallel_library, run_fabric_scenario, run_scenario};
 
 #[test]
 fn every_library_scenario_passes_isolation_assertions() {
@@ -33,6 +34,57 @@ fn scenario_reports_are_byte_identical_for_a_fixed_seed() {
     };
     assert_eq!(run(42), run(42), "same seed, same bytes");
     assert_ne!(run(42), run(7), "the seed actually reaches the cluster");
+}
+
+#[test]
+fn every_parallel_scenario_is_byte_identical_across_thread_counts() {
+    // The `scenario-run --threads` contract: the serialized report of
+    // every library sweep is byte-for-byte identical whether it ran
+    // inline or on 2 or 4 workers. The k8s scenarios above are serial
+    // by construction; these genuinely shard per dragonfly group.
+    for sweep in parallel_library(42) {
+        let base = serde_json::to_string_pretty(&run_fabric_scenario(&sweep, 1))
+            .expect("serializes");
+        for threads in [2usize, 4] {
+            let run = serde_json::to_string_pretty(&run_fabric_scenario(&sweep, threads))
+                .expect("serializes");
+            assert_eq!(run, base, "{} diverged at threads={threads}", sweep.name);
+        }
+        assert!(!base.contains("thread"), "{}: report must not encode the thread count", sweep.name);
+    }
+}
+
+#[test]
+fn parallel_scenarios_pass_and_seeds_reach_the_sweep() {
+    for sweep in parallel_library(42) {
+        let r = run_fabric_scenario(&sweep, 2);
+        assert!(r.passed, "{}: {:?}", sweep.name, r);
+        assert_eq!(r.sent, r.delivered + r.congestion_drops, "{} conserves", sweep.name);
+    }
+    let sc = |seed| {
+        let s = parallel_by_name("dragonfly-256-valiant", seed).expect("library sweep");
+        serde_json::to_string_pretty(&run_fabric_scenario(&s, 1)).expect("serializes")
+    };
+    assert_ne!(sc(42), sc(7), "the seed actually reaches the traffic pattern");
+}
+
+#[test]
+fn the_1024_node_scenario_completes_with_threads_1_and_4_byte_identical() {
+    // The PR's acceptance gate: the 1024-node, 4-group dragonfly
+    // scenario completes under the parallel engine, passes, and its
+    // report bytes at threads=1 and threads=4 are equal.
+    let sweep = parallel_by_name("dragonfly-1024", 42).expect("headline scenario");
+    let t1 = run_fabric_scenario(&sweep, 1);
+    let t4 = run_fabric_scenario(&sweep, 4);
+    assert_eq!(t1.nodes, 1024);
+    assert_eq!(t1.shards, 4);
+    assert!(t1.passed, "{t1:?}");
+    assert!(t1.delivered > 0 && t1.cross_group_injected > 0);
+    assert_eq!(
+        serde_json::to_string_pretty(&t1).expect("serializes"),
+        serde_json::to_string_pretty(&t4).expect("serializes"),
+        "threads=1 and threads=4 must produce identical bytes"
+    );
 }
 
 #[test]
