@@ -26,7 +26,8 @@ use shs_oslinux::{Creds, Host, NetNsId, Pid};
 
 use crate::cxi_cni::{CxiCniPlugin, NodeChain, NodeCniCtx};
 use crate::endpoint::{EndpointHandle, EndpointRole, VniEndpoint};
-use crate::vni_db::{VniDb, VniDbConfig};
+use crate::sharded_db::ShardedVniDb;
+use crate::vni_db::VniDbConfig;
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +54,12 @@ pub struct ClusterConfig {
     /// resync so a job whose acquisition failed is retried once the
     /// quarantine window releases capacity.
     pub vni_resync: Option<SimDur>,
+    /// Number of independent VNI store shards behind the endpoint
+    /// (default 1). Reports are byte-identical at any shard count — the
+    /// facade preserves single-store allocation order and audit
+    /// sequencing; sharding only changes how durable state is spread
+    /// across store devices.
+    pub vni_shards: usize,
     /// Fabric shape. `None` (the default) is the legacy single switch
     /// with `nodes + 8` edge ports; a dragonfly spec places nodes onto
     /// topology switches per [`ClusterConfig::placement`], so
@@ -91,6 +98,7 @@ impl Default for ClusterConfig {
             max_pods_per_node: 256,
             nic_params: CassiniParams::default(),
             vni_resync: None,
+            vni_shards: 1,
             topology: None,
             placement: NodePlacement::RoundRobin,
         }
@@ -346,10 +354,10 @@ impl Cluster {
             });
         }
 
-        let endpoint = Rc::new(RefCell::new(VniEndpoint::new(VniDb::new(VniDbConfig {
-            range: config.vni_range.clone(),
-            quarantine: config.quarantine,
-        }))));
+        let endpoint = Rc::new(RefCell::new(VniEndpoint::sharded(ShardedVniDb::new(
+            VniDbConfig { range: config.vni_range.clone(), quarantine: config.quarantine },
+            config.vni_shards,
+        ))));
         let vni_jobs = Metacontroller::new(
             DecoratorConfig {
                 name: "vni-jobs".into(),

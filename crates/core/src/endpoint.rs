@@ -23,6 +23,7 @@ use shs_k8s::{
     kinds, ApiObject, DecoratorHooks, FinalizeResponse, SyncResponse, VNI_ANNOTATION,
 };
 
+use crate::sharded_db::ShardedVniDb;
 use crate::vni_db::{VniDb, VniDbError, VniOwner};
 
 /// Spec of a VNI CRD instance.
@@ -56,18 +57,26 @@ pub struct EndpointCounters {
     pub stalled_claim_deletes: u64,
 }
 
-/// The endpoint: VNI database + webhook logic.
+/// The endpoint: VNI database + webhook logic. The database is always
+/// the sharded facade — a plain [`VniDb`] enters as a 1-shard instance,
+/// so webhook logic and reports are identical at any shard count.
 #[derive(Debug)]
 pub struct VniEndpoint {
-    /// The ACID-backed VNI database.
-    pub db: VniDb,
+    /// The ACID-backed (possibly sharded) VNI database.
+    pub db: ShardedVniDb,
     /// Counters.
     pub counters: EndpointCounters,
 }
 
 impl VniEndpoint {
-    /// Build an endpoint over a database.
+    /// Build an endpoint over a single-store database (wrapped as one
+    /// shard).
     pub fn new(db: VniDb) -> Self {
+        VniEndpoint { db: ShardedVniDb::from_single(db), counters: EndpointCounters::default() }
+    }
+
+    /// Build an endpoint over an explicitly sharded database.
+    pub fn sharded(db: ShardedVniDb) -> Self {
         VniEndpoint { db, counters: EndpointCounters::default() }
     }
 

@@ -38,6 +38,7 @@ pub mod cxi_cni;
 pub mod endpoint;
 pub mod parsim;
 pub mod scenario;
+pub mod sharded_db;
 pub mod vni_db;
 pub mod workloads;
 
@@ -51,11 +52,15 @@ pub use parsim::{
     FabricScenario, FabricSweepReport,
 };
 pub use scenario::{
-    by_name, library, ring_allreduce_schedule, run_scenario, ClaimPlan, ClassTraffic, Fault,
-    JobPlan, JobTraffic, Scenario, ScenarioReport, TrafficPattern, TrafficPlan, VniMode,
+    by_name, library, ring_allreduce_schedule, run_scenario, run_vni_stress, stress_by_name,
+    stress_library, ClaimPlan, ClassTraffic, Fault, JobPlan, JobTraffic, Scenario,
+    ScenarioReport, TrafficPattern, TrafficPlan, VniMode, VniStressReport, VniStressScenario,
 };
+pub use sharded_db::ShardedVniDb;
 pub use vni_db::{
     AuditEntry, VniDb, VniDbConfig, VniDbCounters, VniDbError, VniDbStats, VniOwner, VniRow,
     VniState,
 };
-pub use workloads::{AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload};
+pub use workloads::{
+    AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload, VniStressWorkload,
+};

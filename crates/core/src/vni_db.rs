@@ -353,9 +353,19 @@ impl VniDb {
 
     /// Recover a database from a crashed/persisted store image. One scan
     /// of the `vnis` table rebuilds every index.
+    ///
+    /// The audit cursor resumes from the highest persisted key + 1, not
+    /// the row count: a database serving as one shard of a
+    /// [`ShardedVniDb`](crate::sharded_db::ShardedVniDb) holds a sparse
+    /// slice of the *global* sequence, so counting rows would re-issue
+    /// keys another shard already owns. For a standalone log the keys
+    /// are contiguous and the two are equal.
     pub fn recover(disk: shs_vnistore::SimDisk, config: VniDbConfig) -> Self {
         let store = Store::recover(disk, VniDb::store_config());
-        let next_audit_seq = store.row_count(T_AUDIT) as u64;
+        let next_audit_seq = store
+            .scan(T_AUDIT)
+            .last()
+            .map_or(0, |(k, _)| u64::from_be_bytes(k.try_into().expect("8-byte audit key")) + 1);
         let mut idx = Indexes { free: config.range.clone().collect(), ..Default::default() };
         let q_ns = config.quarantine.as_nanos();
         for (_, bytes) in store.scan(T_VNIS) {
@@ -385,6 +395,12 @@ impl VniDb {
         self.config.quarantine
     }
 
+    /// Full configuration (the sharding facade adopts it wholesale when
+    /// wrapping an existing database).
+    pub(crate) fn config(&self) -> &VniDbConfig {
+        &self.config
+    }
+
     /// Allocator counters for this instance (not carried across
     /// recovery).
     pub fn counters(&self) -> VniDbCounters {
@@ -396,6 +412,88 @@ impl VniDb {
     /// invariant made countable.
     pub fn txn_count(&self) -> u64 {
         self.store.stats().commits
+    }
+
+    /// Enter group-commit mode on the backing store: subsequent
+    /// transactions apply (and are readable) immediately, but WAL
+    /// framing + fsync are deferred until [`VniDb::group_flush`] — many
+    /// control-plane commits, one durability barrier.
+    pub fn group_begin(&mut self) {
+        self.store.group_begin();
+    }
+
+    /// Make every deferred commit durable as ONE batch WAL record with
+    /// ONE fsync.
+    pub fn group_flush(&mut self) {
+        self.store.group_flush();
+    }
+
+    /// Flush any open batch and leave group-commit mode.
+    pub fn group_end(&mut self) {
+        self.store.group_end();
+    }
+
+    // ---- Sharding hooks (crate-private) ---------------------------------
+    //
+    // A `ShardedVniDb` owns the *global* audit sequence and allocation
+    // order; these hooks let it thread that state through each shard
+    // while every per-shard invariant stays locally checkable.
+
+    /// Current audit cursor (the next sequence this database would
+    /// assign).
+    pub(crate) fn audit_seq(&self) -> u64 {
+        self.next_audit_seq
+    }
+
+    /// Point the audit cursor at a facade-assigned global sequence.
+    pub(crate) fn set_audit_seq(&mut self, seq: u64) {
+        self.next_audit_seq = seq;
+    }
+
+    /// Audit entries paired with their persisted sequence keys — the
+    /// k-way-merge input for the facade's global audit view.
+    pub(crate) fn audit_with_seq(&self) -> Vec<(u64, AuditEntry)> {
+        self.store
+            .scan(T_AUDIT)
+            .map(|(k, v)| {
+                (
+                    u64::from_be_bytes(k.try_into().expect("8-byte audit key")),
+                    try_decode_audit(v).expect("audit rows decode"),
+                )
+            })
+            .collect()
+    }
+
+    /// The VNI `acquire` would hand out at `now`, without allocating —
+    /// the facade probes every shard with this and routes the acquire
+    /// to the shard holding the global minimum, so sharded allocation
+    /// order is identical to a single store's.
+    pub(crate) fn peek_min_allocatable(&mut self, now: SimTime) -> Option<u16> {
+        self.promote_expired(now);
+        match (self.idx.free.first(), self.idx.expired.first()) {
+            (Some(&f), Some(&e)) => Some(f.min(e)),
+            (Some(&f), None) => Some(f),
+            (None, Some(&e)) => Some(e),
+            (None, None) => None,
+        }
+    }
+
+    /// Owner-index lookup without promotion side effects (the facade's
+    /// idempotent re-acquire probe).
+    pub(crate) fn owner_vni(&self, owner: &VniOwner) -> Option<u16> {
+        let (slot, key) = owner_slot(owner);
+        self.idx.owners[slot].get(key).copied()
+    }
+
+    /// Quarantined-index size (valid after a sweep at the caller's
+    /// clock).
+    pub(crate) fn quarantined_count(&self) -> usize {
+        self.idx.quarantined.len()
+    }
+
+    /// Free-set size.
+    pub(crate) fn free_count(&self) -> usize {
+        self.idx.free.len()
     }
 
     fn key(vni: u16) -> [u8; 2] {
@@ -805,11 +903,21 @@ impl VniDb {
                 "quarantine coverage diverged: covered={covered:?} rows={quar_keys:?}"
             ));
         }
-        if self.next_audit_seq != self.store.row_count(T_AUDIT) as u64 {
+        // The cursor may run ahead of this database's own rows (as one
+        // shard of a global sequence) but must never lag them; the
+        // sharded facade's check restores full strictness by requiring
+        // the union of shard keys to be contiguous.
+        let min_next = self
+            .store
+            .scan(T_AUDIT)
+            .last()
+            .map_or(0, |(k, _)| {
+                u64::from_be_bytes(k.try_into().expect("8-byte audit key")) + 1
+            });
+        if self.next_audit_seq < min_next {
             return Err(format!(
-                "audit cursor diverged: next_audit_seq={} audit rows={}",
-                self.next_audit_seq,
-                self.store.row_count(T_AUDIT)
+                "audit cursor lags persisted keys: next_audit_seq={} max key+1={}",
+                self.next_audit_seq, min_next
             ));
         }
         Ok(())

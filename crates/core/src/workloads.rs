@@ -10,12 +10,15 @@
 //! (3072, §III-C1's VNI space minus the reserved global VNI); the
 //! fabric workload runs on a 3-group dragonfly topology.
 
+use std::collections::VecDeque;
+
 use shs_des::{SimDur, SimTime};
 use shs_fabric::{
     CostModel, Fabric, NicAddr, RoutingPolicy, SwitchId, TopologySpec, TrafficClass,
     TransferOutcome, Vni,
 };
 
+use crate::sharded_db::ShardedVniDb;
 use crate::vni_db::{VniDb, VniDbConfig, VniOwner};
 
 /// Allocate/release cycles with the clock pinned at t=0: released VNIs
@@ -180,6 +183,122 @@ impl Default for FabricTransferHotWorkload {
     }
 }
 
+/// The control-plane stress workload behind the `vni_stress` scenarios
+/// and bench rows: a rolling population of tenants churning through the
+/// widest legal VNI range (1024..65535) against a [`ShardedVniDb`] in
+/// group-commit mode.
+///
+/// Each step advances the clock 100 ms and performs exactly one
+/// successful control-plane transaction: while the live population is
+/// below half the range, a **fresh tenant** acquires; at capacity the
+/// **oldest live tenant** releases — so steady state alternates
+/// acquire/release, quarantine continuously recycles VNIs (the 30 s
+/// window spans 300 steps, far below the free slack), and the audit log
+/// grows by one entry per step. Every [`VniStressWorkload::FLUSH_EVERY`]
+/// steps the open batch group-commits — one WAL record and one fsync
+/// per shard per window.
+///
+/// Everything is derived from the step index, so runs are deterministic
+/// and — because the facade preserves single-store allocation order —
+/// identical at any shard count.
+#[derive(Debug)]
+pub struct VniStressWorkload {
+    db: ShardedVniDb,
+    now: SimTime,
+    tenants: u64,
+    next_tenant: u64,
+    live: VecDeque<(u64, Vni)>,
+    cap: usize,
+    ops: u64,
+    exhaustions: u64,
+}
+
+impl VniStressWorkload {
+    /// Steps per group-commit window.
+    pub const FLUSH_EVERY: u64 = 64;
+
+    /// The stress range: the full VNI space above the reserved global
+    /// VNI (§III-C1), minus the all-ones value.
+    pub const RANGE: core::ops::Range<u16> = 1024..65535;
+
+    /// Fresh workload: `tenants` distinct tenant identities cycled over
+    /// `shards` store shards.
+    pub fn new(shards: usize, tenants: u64) -> Self {
+        Self::with_config(
+            shards,
+            tenants,
+            VniDbConfig { range: Self::RANGE, quarantine: SimDur::from_secs(30) },
+        )
+    }
+
+    /// Like [`VniStressWorkload::new`] with an explicit database config
+    /// (tests use narrow ranges to reach quarantine pressure quickly).
+    pub fn with_config(shards: usize, tenants: u64, config: VniDbConfig) -> Self {
+        let tenants = tenants.max(1);
+        // Capping the live population at the tenant count keeps every
+        // cycled id released before its identity comes around again, so
+        // each acquire is genuinely fresh (not an idempotent re-read).
+        let cap = (config.range.len() / 2).clamp(1, tenants as usize);
+        let mut db = ShardedVniDb::new(config, shards);
+        db.group_begin();
+        VniStressWorkload {
+            db,
+            now: SimTime::ZERO,
+            tenants,
+            next_tenant: 0,
+            live: VecDeque::new(),
+            cap,
+            ops: 0,
+            exhaustions: 0,
+        }
+    }
+
+    /// One control-plane transaction (see the type docs), plus a group
+    /// flush at window boundaries.
+    pub fn step(&mut self) {
+        self.now += SimDur::from_millis(100);
+        if self.live.len() >= self.cap {
+            self.release_oldest();
+        } else {
+            let id = self.next_tenant % self.tenants;
+            self.next_tenant += 1;
+            let owner = VniOwner::Job { key: format!("stress/t{id}") };
+            match self.db.acquire(owner, self.now) {
+                Ok(vni) => self.live.push_back((id, vni)),
+                Err(_) => {
+                    // Quarantine backlog ate the slack (cannot happen at
+                    // the documented parameters, but the workload must
+                    // make progress at any): fall back to a release.
+                    self.exhaustions += 1;
+                    self.release_oldest();
+                }
+            }
+        }
+        self.ops += 1;
+        if self.ops.is_multiple_of(Self::FLUSH_EVERY) {
+            self.db.group_flush();
+        }
+    }
+
+    fn release_oldest(&mut self) {
+        if let Some((_, vni)) = self.live.pop_front() {
+            self.db.release(vni, self.now).expect("live VNI releases");
+        }
+    }
+
+    /// Flush and close the group, returning the database and the final
+    /// clock for end-state inspection.
+    pub fn finish(mut self) -> (ShardedVniDb, SimTime, u64, u64) {
+        self.db.group_end();
+        (self.db, self.now, self.ops, self.exhaustions)
+    }
+
+    /// The database under measurement (counter inspection).
+    pub fn db(&self) -> &ShardedVniDb {
+        &self.db
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +350,52 @@ mod tests {
             w2.step();
         }
         assert_eq!(w2.fabric().traffic(Vni(7)).messages, t.messages);
+    }
+
+    #[test]
+    fn vni_stress_alternates_acquire_release_at_capacity() {
+        // 800-wide range → cap 400; the 30 s window spans 300 steps, so
+        // the 400-wide free slack absorbs the quarantine backlog (the
+        // regime the full-range stress scenarios run in) and the first
+        // released VNIs recycle from step ~700.
+        let cfg = VniDbConfig {
+            range: 1024..1824,
+            quarantine: SimDur::from_secs(30),
+        };
+        let mut w = VniStressWorkload::with_config(1, 1000, cfg);
+        for _ in 0..1200 {
+            w.step();
+        }
+        let (mut db, now, ops, exhaustions) = w.finish();
+        assert_eq!(ops, 1200);
+        let c = db.counters();
+        assert!(c.releases > 0, "steady state releases");
+        assert!(c.reuse_allocs > 0, "quarantined VNIs recycle");
+        assert_eq!(exhaustions, 0, "slack absorbs the quarantine backlog");
+        let stats = db.stats(now);
+        assert_eq!(stats.allocated, 400, "live population pinned at capacity");
+        db.check_index_consistency().unwrap();
+    }
+
+    #[test]
+    fn vni_stress_end_state_is_shard_count_invariant() {
+        let run = |shards: usize| {
+            let cfg = VniDbConfig {
+                range: 1024..1152,
+                quarantine: SimDur::from_secs(30),
+            };
+            let mut w = VniStressWorkload::with_config(shards, 500, cfg);
+            for _ in 0..600 {
+                w.step();
+            }
+            let (mut db, now, ops, exhaustions) = w.finish();
+            db.check_index_consistency().unwrap();
+            let stats = db.stats(now);
+            (db.rows(), db.audit(), db.txn_count(), stats, ops, exhaustions)
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Shard-count invariance of serialized reports: the deliverable the
+//! sharded control plane must not break. A scenario (or control-plane
+//! stress run) executed at `--shards 1`, `2` and `4` must emit
+//! **byte-identical** JSON — the facade's global-minimum allocation and
+//! global audit sequencing guarantee it, and these tests pin the
+//! contract at the report level, where any divergence would reach users.
+
+use slingshot_k8s::{by_name, run_scenario, run_vni_stress, VniStressScenario};
+
+/// Full cluster scenarios through the DES engine: only
+/// `ClusterConfig::vni_shards` varies.
+#[test]
+fn scenario_reports_are_byte_identical_across_shard_counts() {
+    for name in ["quarantine-pressure", "churn"] {
+        let render = |shards: usize| {
+            let mut scenario = by_name(name, 42).expect("library scenario");
+            scenario.config.vni_shards = shards;
+            serde_json::to_string_pretty(&run_scenario(&scenario)).expect("serializes")
+        };
+        let one = render(1);
+        assert_eq!(one, render(2), "{name}: shards=2 diverged from shards=1");
+        assert_eq!(one, render(4), "{name}: shards=4 diverged from shards=1");
+    }
+}
+
+/// Control-plane stress reports (direct database churn under group
+/// commit, ending in a crash-recovery audit).
+#[test]
+fn stress_reports_are_byte_identical_across_shard_counts() {
+    let render = |shards: usize| {
+        let scenario = VniStressScenario {
+            name: "vni-stress-identity".into(),
+            description: "shard-invariance fixture".into(),
+            seed: 42,
+            tenants: 2_000,
+            ops: 6_000,
+            shards,
+        };
+        let report = run_vni_stress(&scenario);
+        assert!(report.passed, "stress run failed at shards={shards}");
+        serde_json::to_string_pretty(&report).expect("serializes")
+    };
+    let one = render(1);
+    assert_eq!(one, render(2), "shards=2 diverged from shards=1");
+    assert_eq!(one, render(4), "shards=4 diverged from shards=1");
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE]
-//!           [--threads LIST]
+//!           [--threads LIST] [--shards LIST]
 //! ```
 //!
 //! Times the control-plane hot paths the paper's VNI Database serializes
@@ -33,6 +33,15 @@
 //!   the clock advancing past the 30 s quarantine each cycle;
 //! * `store_txn_commit` — a single-put ACID transaction (WAL append +
 //!   fsync + apply), the floor under every VniDb operation;
+//! * `store_txn_commit_grouped` — the same single-put transaction
+//!   inside an open WAL group-commit batch flushed every 64 commits:
+//!   the amortized per-commit cost the control plane pays under load;
+//! * `store_recover_hist10k` / `store_recover_hist100k` — full store
+//!   recovery from a shut-down device after 10k vs 100k commits of
+//!   churn over the **same** live-row count. The truncating snapshot
+//!   cadence keeps the device (and so the recovery scan) O(live rows):
+//!   10× the history must not mean 10× the recovery time, and each
+//!   entry records its `device_bytes` so the bound is visible;
 //! * `osu_allreduce` — one 8-rank, 64 KiB ring allreduce over a 2-group
 //!   dragonfly (every hop crossing the group trunk), the collective
 //!   hot path of the `shs_mpi::Communicator`.
@@ -47,21 +56,58 @@
 //! asserts the sweep's event count and counters are identical at every
 //! thread count before reporting; a `"parallel"` block records the
 //! deterministic shape (nodes, shards, windows, cross-group events).
+//!
+//! The **control-plane sharding curve**: a bench-scale tenant-churn
+//! stress run (2000 tenants through the sharded VNI database under
+//! group commit, ending in a crash-recovery audit) runs once per
+//! `--shards` entry (default `1,2,4`), emitting one `vni_stress-s<N>`
+//! scenario row each. The run asserts the stress report —
+//! allocations, audit length, transaction count, recovery outcome —
+//! is **identical at every shard count** before reporting; only
+//! wall-clock (and so ops/sec) may differ between rows.
+//!
+//! The emitted document also records a top-level `"host"` fingerprint
+//! (core count, OS, architecture, CPU model): medians are only
+//! comparable like-for-like, and the fingerprint makes cross-host
+//! comparisons visibly suspect instead of silently wrong.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use serde_json::{json, Value};
 use shs_harness::gate::{self, GateCheck};
-use shs_harness::OsuAllreduceWorkload;
-use shs_vnistore::{Store, StoreConfig};
+use shs_harness::{HostInfo, OsuAllreduceWorkload};
+use shs_vnistore::{SimDisk, Store, StoreConfig};
 use slingshot_k8s::{
-    by_name, parallel_by_name, run_fabric_scenario, run_scenario, AcquireReleaseWorkload,
-    ChurnHotWorkload, FabricSweepReport, FabricTransferHotWorkload, VniDb,
+    by_name, parallel_by_name, run_fabric_scenario, run_scenario, run_vni_stress,
+    AcquireReleaseWorkload, ChurnHotWorkload, FabricSweepReport, FabricTransferHotWorkload, VniDb,
+    VniStressReport, VniStressScenario,
 };
 
 /// The parallel scaling-curve subject: the 1024-node library sweep.
 const PARALLEL_SCENARIO: &str = "dragonfly-1024";
+
+/// Row-name prefix of the control-plane sharding curve
+/// (`vni_stress-s<N>` = the bench-scale stress run at N store shards).
+const STRESS_PREFIX: &str = "vni_stress-s";
+
+/// Tenant identities cycled by the bench-scale stress run.
+const STRESS_TENANTS: u64 = 2_000;
+
+/// Steps per bench-scale stress run (`vni_stress-s<N>` rows). Fixed
+/// across `--quick` and full mode — the run ends in a crash+recovery
+/// whose fixed cost amortizes over the op count, so rows are only
+/// gate-comparable to a baseline recorded at the *same* size (unlike
+/// the pure per-op micros, where iteration count cancels out).
+const STRESS_OPS: u64 = 20_000;
+
+/// Commits per durability barrier in `store_txn_commit_grouped` — the
+/// same cadence `VniStressWorkload` flushes its group batches at.
+const GROUP_FLUSH_EVERY: u64 = 64;
+
+/// Live rows both recovery benchmarks leave on the device; only the
+/// churn *history* differs between them.
+const RECOVER_LIVE: u64 = 1_000;
 
 /// How many fresh measurements a first-pass gate regression earns
 /// before the gate fails it. The entry keeps its **best** measurement
@@ -77,6 +123,9 @@ struct Opts {
     /// Worker counts for the parallel scaling curve (one scenario row
     /// per entry).
     threads: Vec<usize>,
+    /// Shard counts for the control-plane sharding curve (one
+    /// `vni_stress-s<N>` scenario row per entry).
+    shards: Vec<usize>,
 }
 
 /// Sample/iteration budgets shared by the first measurement pass and
@@ -97,6 +146,7 @@ fn parse_args() -> Opts {
         label: "bench-run".into(),
         out: None,
         threads: vec![1, 2, 4],
+        shards: vec![1, 2, 4],
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +164,19 @@ fn parse_args() -> Opts {
                     .collect();
                 if opts.threads.is_empty() {
                     usage("--threads needs at least one entry");
+                }
+            }
+            "--shards" => {
+                let v = args.next().unwrap_or_else(|| usage("--shards needs a list, e.g. 1,2,4"));
+                opts.shards = v
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => usage("--shards entries must be integers >= 1"),
+                    })
+                    .collect();
+                if opts.shards.is_empty() {
+                    usage("--shards needs at least one entry");
                 }
             }
             "--baseline" => {
@@ -140,7 +203,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("bench-run: {msg}");
     eprintln!(
         "usage: bench-run [--quick] [--baseline FILE] [--gate] [--label NAME] [--out FILE] \
-         [--threads LIST]"
+         [--threads LIST] [--shards LIST]"
     );
     std::process::exit(2);
 }
@@ -248,6 +311,69 @@ fn bench_store_commit(samples: usize, iters: u64) -> f64 {
     })
 }
 
+/// The same single-put transaction as `store_txn_commit`, but inside an
+/// open WAL group-commit batch flushed every [`GROUP_FLUSH_EVERY`]
+/// commits — so each op's cost is the staged append plus its 1/64th
+/// share of one batch frame + fsync. This amortized figure is what
+/// every control-plane transaction pays under tenant-churn load.
+fn bench_store_commit_grouped(samples: usize, iters: u64) -> f64 {
+    let mut store = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
+    store.group_begin();
+    let mut i = 0u64;
+    let med = measure(samples, iters, || {
+        let mut txn = store.begin();
+        txn.put("vnis", &i.to_be_bytes(), b"row");
+        i += 1;
+        txn.commit();
+        if i.is_multiple_of(GROUP_FLUSH_EVERY) {
+            store.group_flush();
+        }
+    });
+    store.group_end();
+    med
+}
+
+/// Store config for the recovery benchmarks: the WAL-growth-triggered
+/// truncating snapshot cadence the VNI database runs under, which is
+/// what bounds the device at O(live rows).
+fn recover_config() -> StoreConfig {
+    StoreConfig { snapshot_every: Some(256), snapshot_wal_factor: 1 }
+}
+
+/// Build a shut-down device holding [`RECOVER_LIVE`] stable rows plus
+/// `history` commits of churn over a handful of hot keys. Under the
+/// truncating snapshot cadence the device length is governed by the
+/// live rows, not `history`.
+fn churned_disk(history: u64) -> SimDisk {
+    let mut store = Store::new(recover_config());
+    for i in 0..RECOVER_LIVE {
+        let mut txn = store.begin();
+        txn.put("vnis", &i.to_be_bytes(), b"live row");
+        txn.commit();
+    }
+    for i in 0..history {
+        let mut txn = store.begin();
+        txn.put("hot", &(i % 8).to_be_bytes(), &i.to_be_bytes());
+        txn.commit();
+    }
+    store.shutdown()
+}
+
+/// Median ns per full recovery (snapshot decode + WAL-tail replay +
+/// index rebuild) from a clone of `disk`.
+fn bench_store_recover(samples: usize, iters: u64, disk: &SimDisk) -> f64 {
+    measure(samples, iters, || {
+        let store = Store::recover(disk.clone(), recover_config());
+        assert_eq!(store.row_count("vnis") as u64, RECOVER_LIVE, "recovery lost rows");
+    })
+}
+
+/// `"store_recover_hist<N>k"` → churn history for the remeasure arm.
+fn recover_row_history(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("store_recover_hist")?.strip_suffix('k')?;
+    rest.parse::<u64>().ok().map(|k| k * 1_000)
+}
+
 /// Run one library scenario, returning (events executed, wall seconds).
 fn run_scenario_timed(name: &str) -> (u64, f64) {
     let scenario = by_name(name, 42).expect("library scenario");
@@ -272,6 +398,31 @@ fn run_parallel_timed(threads: usize) -> (FabricSweepReport, f64) {
 fn parallel_row_threads(name: &str) -> Option<usize> {
     let rest = name.strip_prefix(PARALLEL_SCENARIO)?.strip_prefix("-t")?;
     rest.parse().ok()
+}
+
+/// `"vni_stress-s<N>"` → `N`: the shard count a sharding-curve scenario
+/// row was measured at (gate re-measurement needs it back).
+fn stress_row_shards(name: &str) -> Option<usize> {
+    name.strip_prefix(STRESS_PREFIX)?.parse().ok()
+}
+
+/// Run the bench-scale control-plane stress scenario at `shards` store
+/// shards, returning the (shard-count-invariant) report and the wall
+/// seconds.
+fn run_stress_timed(shards: usize, ops: u64) -> (VniStressReport, f64) {
+    let scenario = VniStressScenario {
+        name: "vni-stress-bench".into(),
+        description: "bench-scale tenant churn through the sharded VNI database".into(),
+        seed: 42,
+        tenants: STRESS_TENANTS,
+        ops,
+        shards,
+    };
+    let start = Instant::now();
+    let report = run_vni_stress(&scenario);
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(report.passed, "bench stress run must stay consistent and recover: {report:?}");
+    (report, wall_s)
 }
 
 /// Baseline medians from a previous bench-run output, keyed by name.
@@ -332,6 +483,7 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
         "vni_db_acquire_release" => (bench_acquire_release(b.samples, b.ar_iters), None),
         "vni_db_churn_hot" => (bench_churn_hot(b.samples, b.churn_iters).0, None),
         "store_txn_commit" => (bench_store_commit(b.samples, b.store_iters), None),
+        "store_txn_commit_grouped" => (bench_store_commit_grouped(b.samples, b.store_iters), None),
         "fabric_transfer_hot" => (bench_fabric_transfer_hot(b.samples, b.store_iters), None),
         "osu_allreduce" => (bench_osu_allreduce(b.samples, b.churn_iters), None),
         "churn" | "steady-state" => {
@@ -339,9 +491,17 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
             (events as f64 / wall_s, Some(wall_s * 1e3))
         }
         _ => {
-            let threads = parallel_row_threads(name)?;
-            let (report, wall_s) = run_parallel_timed(threads);
-            (report.events_executed as f64 / wall_s, Some(wall_s * 1e3))
+            if let Some(history) = recover_row_history(name) {
+                let disk = churned_disk(history);
+                (bench_store_recover(b.samples, b.churn_iters, &disk), None)
+            } else if let Some(shards) = stress_row_shards(name) {
+                let (report, wall_s) = run_stress_timed(shards, STRESS_OPS);
+                (report.ops as f64 / wall_s, Some(wall_s * 1e3))
+            } else {
+                let threads = parallel_row_threads(name)?;
+                let (report, wall_s) = run_parallel_timed(threads);
+                (report.events_executed as f64 / wall_s, Some(wall_s * 1e3))
+            }
         }
     })
 }
@@ -429,6 +589,13 @@ fn main() {
     let (churn, churn_workload) = bench_churn_hot(samples, churn_iters);
     eprintln!("bench-run: timing store_txn_commit ...");
     let store = bench_store_commit(samples, store_iters);
+    eprintln!("bench-run: timing store_txn_commit_grouped ...");
+    let store_grouped = bench_store_commit_grouped(samples, store_iters);
+    eprintln!("bench-run: timing store_recover_hist10k / store_recover_hist100k ...");
+    let disk_10k = churned_disk(10_000);
+    let recover_10k = bench_store_recover(samples, churn_iters, &disk_10k);
+    let disk_100k = churned_disk(100_000);
+    let recover_100k = bench_store_recover(samples, churn_iters, &disk_100k);
     eprintln!("bench-run: timing fabric_transfer_hot ...");
     let fabric_iters = store_iters;
     let fabric = bench_fabric_transfer_hot(samples, fabric_iters);
@@ -436,10 +603,19 @@ fn main() {
     let allreduce_iters = churn_iters;
     let allreduce = bench_osu_allreduce(samples, allreduce_iters);
 
+    let mut recover_10k_entry = bench_entry("store_recover_hist10k", recover_10k, samples, churn_iters);
+    recover_10k_entry["device_bytes"] = json!(disk_10k.len());
+    let mut recover_100k_entry =
+        bench_entry("store_recover_hist100k", recover_100k, samples, churn_iters);
+    recover_100k_entry["device_bytes"] = json!(disk_100k.len());
+
     let mut benchmarks = vec![
         bench_entry("vni_db_acquire_release", ar, samples, ar_iters),
         bench_entry("vni_db_churn_hot", churn, samples, churn_iters),
         bench_entry("store_txn_commit", store, samples, store_iters),
+        bench_entry("store_txn_commit_grouped", store_grouped, samples, store_iters),
+        recover_10k_entry,
+        recover_100k_entry,
         bench_entry("fabric_transfer_hot", fabric, samples, fabric_iters),
         bench_entry("osu_allreduce", allreduce, samples, allreduce_iters),
     ];
@@ -476,6 +652,28 @@ fn main() {
         parallel_shape.get_or_insert(report);
     }
 
+    // The control-plane sharding curve: the same stress run at each
+    // store shard count. The report — allocations, audit, transactions,
+    // recovery — is asserted identical across shard counts; only the
+    // wall-clock (and so ops/sec) may differ between rows.
+    let mut stress_shape: Option<VniStressReport> = None;
+    for &shards in &opts.shards {
+        eprintln!("bench-run: running scenario {STRESS_PREFIX}{shards} ...");
+        let (report, wall_s) = run_stress_timed(shards, STRESS_OPS);
+        if let Some(base) = &stress_shape {
+            assert_eq!(&report, base, "stress report diverged at shards={shards}");
+        }
+        scenarios.push(json!({
+            "name": format!("{STRESS_PREFIX}{shards}"),
+            "shards": shards,
+            "events_executed": report.ops,
+            "txns": report.txns,
+            "wall_ms": round1(wall_s * 1e3),
+            "events_per_sec": round1(report.ops as f64 / wall_s),
+        }));
+        stress_shape.get_or_insert(report);
+    }
+
     let mut gate_report = None;
     if let Some(path) = &opts.baseline {
         let bench_base = baseline_map(path, "benchmarks", "median_ns_per_op");
@@ -505,13 +703,30 @@ fn main() {
         })
     });
 
+    // The deterministic shape of the stress run — identical at every
+    // shard count (asserted above), so recorded once.
+    let control = stress_shape.as_ref().map(|r| {
+        json!({
+            "scenario": r.scenario,
+            "tenants": r.tenants,
+            "ops": r.ops,
+            "acquires": r.acquires,
+            "reuse_allocs": r.reuse_allocs,
+            "audit_len": r.audit_len,
+            "txns": r.txns,
+            "recovered": r.recovered,
+        })
+    });
+
     let doc = json!({
         "schema": "shs-bench/v1",
         "label": opts.label,
         "quick": opts.quick,
+        "host": HostInfo::detect(),
         "benchmarks": benchmarks,
         "scenarios": scenarios,
         "parallel": parallel,
+        "control": control,
         "allocator_counters": allocator_counters(churn_workload.db()),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");

@@ -33,4 +33,4 @@ pub use collective::{job_communicator, CollectiveRig, OsuAllreduceWorkload};
 pub use gate::{evaluate as evaluate_gate, GateCheck, GateReport, MAX_REGRESSION_PCT};
 pub use comm::{run_comm, CommConfig, CommResult, Metric, ModeSamples};
 pub use output::{ascii_boxplot, ascii_plot, fmt_size, OutputSink, Series};
-pub use runmeta::{scenario_run_document, RunMetrics};
+pub use runmeta::{scenario_run_document, HostInfo, RunMetrics};

@@ -54,6 +54,18 @@ impl SimDisk {
         self.buf.is_empty()
     }
 
+    /// Atomically replace the device contents with a new image, durable
+    /// immediately. Models the checkpoint-to-a-new-file + fsync + rename
+    /// sequence a truncating snapshot performs, collapsed into the one
+    /// crash-atomic step the rename provides: a crash either sees the
+    /// old image or the complete new one, never a mix.
+    pub fn replace(&mut self, bytes: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(bytes);
+        self.synced_len = self.buf.len();
+        self.fsyncs += 1;
+    }
+
     /// Simulate a crash: the synced prefix survives intact; of the
     /// unsynced tail, a random prefix (possibly zero bytes, possibly all)
     /// survives — a torn final write.
@@ -111,6 +123,22 @@ mod tests {
         d.fsync();
         assert_eq!(d.fsyncs, 2);
         assert_eq!(d.synced_len(), 2);
+    }
+
+    #[test]
+    fn replace_swaps_contents_atomically_and_durably() {
+        let mut d = SimDisk::new();
+        d.append(b"old history");
+        d.fsync();
+        d.append(b"torn tail");
+        d.replace(b"snapshot");
+        assert_eq!(d.contents(), b"snapshot");
+        assert_eq!(d.synced_len(), 8, "replacement is immediately durable");
+        assert_eq!(d.fsyncs, 2, "the rename costs one barrier");
+        // Any crash after the replace keeps the full new image.
+        let mut rng = DetRng::new(9);
+        let d2 = d.crash(&mut rng);
+        assert_eq!(d2.contents(), b"snapshot");
     }
 
     #[test]

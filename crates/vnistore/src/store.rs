@@ -40,7 +40,7 @@ use shs_des::DetRng;
 
 use crate::codec::{push_bytes, read_bytes};
 use crate::disk::SimDisk;
-use crate::wal::{decode_all, encode_into, RecordKind};
+use crate::wal::{decode_all, decode_batch, encode_into, push_batch_txn, RecordKind};
 
 type Table = BTreeMap<Vec<u8>, Vec<u8>>;
 
@@ -122,6 +122,9 @@ pub struct StoreStats {
     pub commits: u64,
     /// Snapshot records written.
     pub snapshots: u64,
+    /// Group-commit batch records written (each covers ≥ 1 commit with
+    /// a single fsync).
+    pub batches: u64,
     /// Bytes appended to the WAL over the store's lifetime.
     pub wal_bytes: u64,
     /// fsync barriers issued.
@@ -148,6 +151,24 @@ pub struct Store {
     payload_buf: Vec<u8>,
     frame_buf: Vec<u8>,
     ops_pool: Vec<Op>,
+    /// Group-commit state: while `Some`, committed transactions apply to
+    /// the tables immediately (reads see them) but their WAL framing and
+    /// fsync are deferred into this accumulating batch; `group_flush`
+    /// writes the whole batch as ONE `Batch` record with one fsync. A
+    /// crash before the flush loses the entire open batch — never part
+    /// of it (the batch frame's CRC is all-or-nothing).
+    group: Option<GroupState>,
+}
+
+/// Accumulator for an open group-commit batch.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// `u32 len | ops` per deferred transaction, in commit order.
+    buf: Vec<u8>,
+    /// LSN of the first transaction in the open batch.
+    first_lsn: u64,
+    /// Transactions in the open batch.
+    count: u64,
 }
 
 impl Store {
@@ -165,11 +186,13 @@ impl Store {
             payload_buf: Vec::new(),
             frame_buf: Vec::new(),
             ops_pool: Vec::new(),
+            group: None,
         }
     }
 
     /// Recover a store from a (possibly crash-truncated) device image.
-    /// Replays the latest snapshot, then all later committed transactions.
+    /// Replays the latest snapshot, then all later committed transactions
+    /// (group-commit batches count one LSN per contained transaction).
     pub fn recover(disk: SimDisk, config: StoreConfig) -> Self {
         let (records, _) = decode_all(disk.contents());
         let mut tables: BTreeMap<String, Table> = BTreeMap::new();
@@ -188,11 +211,23 @@ impl Store {
             None => 0,
         };
         for rec in &records[start..] {
-            if rec.kind == RecordKind::Commit {
-                for op in decode_ops(&rec.payload) {
-                    apply_op(&mut tables, op);
+            match rec.kind {
+                RecordKind::Commit => {
+                    for op in decode_ops(&rec.payload) {
+                        apply_op(&mut tables, op);
+                    }
+                    next_lsn = rec.lsn + 1;
                 }
-                next_lsn = rec.lsn + 1;
+                RecordKind::Batch => {
+                    let txns = decode_batch(&rec.payload);
+                    for txn in &txns {
+                        for op in decode_ops(txn) {
+                            apply_op(&mut tables, op);
+                        }
+                    }
+                    next_lsn = rec.lsn + txns.len() as u64;
+                }
+                RecordKind::Snapshot => {}
             }
         }
         Store {
@@ -207,6 +242,7 @@ impl Store {
             payload_buf: Vec::new(),
             frame_buf: Vec::new(),
             ops_pool: Vec::new(),
+            group: None,
         }
     }
 
@@ -236,11 +272,16 @@ impl Store {
         self.tables.get(table).map_or(0, |t| t.len())
     }
 
-    /// Force a snapshot checkpoint now. Rows are encoded straight from
-    /// the committed tables into the record payload — no intermediate
-    /// per-row `Op` clones — so a snapshot costs one pass plus one
-    /// payload buffer, not three copies of every row.
+    /// Force a snapshot checkpoint now, **truncating** the log: the
+    /// snapshot frame becomes the entire device image (the
+    /// checkpoint + rename a real store performs), so the device — and
+    /// recovery — stay O(live rows) instead of O(history). Rows are
+    /// encoded straight from the committed tables into the record
+    /// payload — no intermediate per-row `Op` clones. Any open
+    /// group-commit batch is flushed first so the checkpoint never
+    /// captures state the log has not made durable.
     pub fn snapshot(&mut self) {
+        self.flush_group_buffer();
         self.payload_buf.clear();
         for (tname, table) in &self.tables {
             for (k, v) in table {
@@ -255,8 +296,7 @@ impl Store {
         self.next_lsn += 1;
         self.frame_buf.clear();
         encode_into(RecordKind::Snapshot, lsn, &self.payload_buf, &mut self.frame_buf);
-        self.disk.append(&self.frame_buf);
-        self.disk.fsync();
+        self.disk.replace(&self.frame_buf);
         self.stats.wal_bytes += self.frame_buf.len() as u64;
         self.stats.snapshots += 1;
         self.stats.fsyncs += 1;
@@ -265,15 +305,77 @@ impl Store {
         self.last_snapshot_bytes = self.frame_buf.len() as u64;
     }
 
-    /// Simulate a crash, returning the surviving device image.
+    /// Enter group-commit mode: subsequent commits apply immediately but
+    /// defer WAL framing + fsync until [`Store::group_flush`]. Idempotent
+    /// — an already-open batch keeps accumulating.
+    pub fn group_begin(&mut self) {
+        if self.group.is_none() {
+            self.group = Some(GroupState::default());
+        }
+    }
+
+    /// Make every deferred commit durable as ONE `Batch` WAL record with
+    /// ONE fsync, then run the (deferred) snapshot-cadence check. A
+    /// no-op when the batch is empty. The store stays in group mode.
+    pub fn group_flush(&mut self) {
+        self.flush_group_buffer();
+        self.maybe_snapshot();
+    }
+
+    /// Flush any open batch and leave group-commit mode.
+    pub fn group_end(&mut self) {
+        self.group_flush();
+        self.group = None;
+    }
+
+    /// Commits sitting in the open batch, not yet durable.
+    pub fn group_pending(&self) -> u64 {
+        self.group.as_ref().map_or(0, |g| g.count)
+    }
+
+    fn flush_group_buffer(&mut self) {
+        let Some(g) = self.group.as_mut() else { return };
+        if g.count == 0 {
+            return;
+        }
+        let first_lsn = g.first_lsn;
+        let buf = std::mem::take(&mut g.buf);
+        g.count = 0;
+        self.frame_buf.clear();
+        encode_into(RecordKind::Batch, first_lsn, &buf, &mut self.frame_buf);
+        self.disk.append(&self.frame_buf);
+        self.disk.fsync();
+        self.stats.wal_bytes += self.frame_buf.len() as u64;
+        self.wal_since_snapshot += self.frame_buf.len() as u64;
+        self.stats.batches += 1;
+        self.stats.fsyncs += 1;
+        // Hand the emptied buffer back for the next batch.
+        if let Some(g) = self.group.as_mut() {
+            g.buf = buf;
+            g.buf.clear();
+        }
+    }
+
+    /// Simulate a crash, returning the surviving device image. An open
+    /// group-commit batch is deliberately **not** flushed: its commits
+    /// were never durable, and recovery rolls back the whole batch.
     pub fn crash(self, rng: &mut DetRng) -> SimDisk {
         self.disk.crash(rng)
     }
 
-    /// Cleanly stop, returning the device (everything synced).
+    /// Cleanly stop, returning the device (everything synced, any open
+    /// group-commit batch flushed).
     pub fn shutdown(mut self) -> SimDisk {
+        self.flush_group_buffer();
         self.disk.fsync();
         self.disk
+    }
+
+    /// Bytes currently on the device — what a recovery scan must read.
+    /// Truncating snapshots keep this O(live rows) rather than
+    /// O(history).
+    pub fn device_len(&self) -> usize {
+        self.disk.len()
     }
 
     /// Statistics for this store instance (not carried across recovery).
@@ -284,16 +386,27 @@ impl Store {
     fn commit_ops(&mut self, mut ops: Vec<Op>) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        // WAL first, then fsync, then apply: crash before the fsync loses
-        // the whole transaction, never half of it.
         self.payload_buf.clear();
         encode_ops_into(&ops, &mut self.payload_buf);
-        self.frame_buf.clear();
-        encode_into(RecordKind::Commit, lsn, &self.payload_buf, &mut self.frame_buf);
-        self.disk.append(&self.frame_buf);
-        self.disk.fsync();
-        self.stats.wal_bytes += self.frame_buf.len() as u64;
-        self.wal_since_snapshot += self.frame_buf.len() as u64;
+        if let Some(g) = self.group.as_mut() {
+            // Group mode: stage the framing in the open batch; durability
+            // (and the snapshot-cadence check, which must not checkpoint
+            // state ahead of the log) waits for `group_flush`.
+            if g.count == 0 {
+                g.first_lsn = lsn;
+            }
+            push_batch_txn(&mut g.buf, &self.payload_buf);
+            g.count += 1;
+        } else {
+            // WAL first, then fsync, then apply: crash before the fsync
+            // loses the whole transaction, never half of it.
+            self.frame_buf.clear();
+            encode_into(RecordKind::Commit, lsn, &self.payload_buf, &mut self.frame_buf);
+            self.disk.append(&self.frame_buf);
+            self.disk.fsync();
+            self.stats.wal_bytes += self.frame_buf.len() as u64;
+            self.wal_since_snapshot += self.frame_buf.len() as u64;
+        }
         // Apply by move: the ops' owned strings and byte vectors become
         // the table rows instead of being cloned, and the emptied
         // staging Vec goes back to the pool for the next `begin`.
@@ -303,6 +416,15 @@ impl Store {
         self.ops_pool = ops;
         self.stats.commits += 1;
         self.commits_since_snapshot += 1;
+        if self.group.is_none() {
+            self.maybe_snapshot();
+        }
+        lsn
+    }
+
+    /// Snapshot if the commit cadence is due and the WAL has grown
+    /// enough since the last one (see [`StoreConfig`]).
+    fn maybe_snapshot(&mut self) {
         if let Some(every) = self.config.snapshot_every {
             let wal_due = self.wal_since_snapshot
                 >= self.config.snapshot_wal_factor.saturating_mul(self.last_snapshot_bytes);
@@ -310,7 +432,6 @@ impl Store {
                 self.snapshot();
             }
         }
-        lsn
     }
 }
 
@@ -685,6 +806,156 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_batches_many_txns_into_one_fsync() {
+        let mut s = store();
+        s.group_begin();
+        for i in 0..16u32 {
+            let mut t = s.begin();
+            t.put("vnis", &i.to_le_bytes(), b"row");
+            t.commit();
+        }
+        assert_eq!(s.group_pending(), 16);
+        assert_eq!(s.stats().fsyncs, 0, "durability is deferred");
+        assert_eq!(s.get("vnis", &3u32.to_le_bytes()), Some(b"row".as_slice()));
+        s.group_flush();
+        assert_eq!(s.group_pending(), 0);
+        let st = s.stats();
+        assert_eq!(st.commits, 16);
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.fsyncs, 1, "16 commits, one barrier");
+        let r = Store::recover(s.shutdown(), StoreConfig::default());
+        assert_eq!(r.row_count("vnis"), 16);
+    }
+
+    #[test]
+    fn group_batch_recovery_advances_lsn_by_txn_count() {
+        let mut s = store();
+        s.group_begin();
+        for i in 0..5u32 {
+            let mut t = s.begin();
+            t.put("t", &i.to_le_bytes(), b"v");
+            t.commit();
+        }
+        s.group_end();
+        let mut r = Store::recover(s.shutdown(), StoreConfig::default());
+        let mut t = r.begin();
+        t.put("t", b"next", b"v");
+        let lsn = t.commit();
+        assert_eq!(lsn, 6, "5 batched txns occupied LSNs 1..=5");
+    }
+
+    #[test]
+    fn crash_before_group_flush_rolls_back_the_whole_batch() {
+        let mut s = store();
+        let mut t = s.begin();
+        t.put("t", b"durable", b"v");
+        t.commit();
+        s.group_begin();
+        s.group_flush(); // empty flush is a no-op
+        assert_eq!(s.stats().batches, 0);
+        for i in 0..8u32 {
+            let mut t = s.begin();
+            t.put("t", &i.to_le_bytes(), b"volatile");
+            t.commit();
+        }
+        assert_eq!(s.row_count("t"), 9, "batched writes are visible before the crash");
+        for seed in 0..16 {
+            let mut rng = DetRng::new(seed);
+            let r = Store::recover(s.disk_clone().crash(&mut rng), StoreConfig::default());
+            assert_eq!(
+                r.row_count("t"),
+                1,
+                "seed {seed}: only the pre-batch row survives, never part of the batch"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_batch_frame_is_rolled_back_whole() {
+        // Flush a batch, then tear the device inside the batch frame at
+        // every possible offset: recovery must see either all 8 txns or
+        // none — never a prefix of the batch.
+        let mut s = store();
+        s.group_begin();
+        for i in 0..8u32 {
+            let mut t = s.begin();
+            t.put("t", &i.to_le_bytes(), b"v");
+            t.commit();
+        }
+        s.group_flush();
+        let full = s.shutdown();
+        for cut in 0..full.len() {
+            let mut torn = SimDisk::new();
+            torn.append(&full.contents()[..cut]);
+            torn.fsync();
+            let r = Store::recover(torn, StoreConfig::default());
+            let n = r.row_count("t");
+            assert!(n == 0 || n == 8, "cut {cut}: partial batch visible ({n} rows)");
+        }
+    }
+
+    #[test]
+    fn group_flush_then_crash_keeps_every_batched_txn() {
+        let mut s = store();
+        s.group_begin();
+        for i in 0..8u32 {
+            let mut t = s.begin();
+            t.put("t", &i.to_le_bytes(), b"v");
+            t.commit();
+        }
+        s.group_flush();
+        for seed in 0..8 {
+            let mut rng = DetRng::new(seed);
+            let r = Store::recover(s.disk_clone().crash(&mut rng), StoreConfig::default());
+            assert_eq!(r.row_count("t"), 8, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn truncating_snapshot_bounds_the_device_by_live_rows() {
+        let mut s = Store::new(StoreConfig { snapshot_every: Some(64), snapshot_wal_factor: 0 });
+        // Churn one hot key far past the snapshot cadence: history grows,
+        // live state stays one row, so the device must stop growing.
+        let mut peak_after_snapshot = 0usize;
+        for i in 0..4096u32 {
+            let mut t = s.begin();
+            t.put("hot", b"k", &i.to_le_bytes());
+            t.commit();
+            if s.stats().snapshots == 1 && peak_after_snapshot == 0 {
+                peak_after_snapshot = s.device_len();
+            }
+        }
+        assert!(s.stats().snapshots > 10);
+        // Between snapshots at most `snapshot_every` commit frames pile
+        // up, so the device never exceeds snapshot + cadence worth of
+        // frames — independent of the 4096-commit history.
+        assert!(
+            s.device_len() < peak_after_snapshot + 64 * 64,
+            "device_len {} should be bounded by live rows + cadence, not history",
+            s.device_len()
+        );
+        let r = Store::recover(s.shutdown(), StoreConfig::default());
+        assert_eq!(r.row_count("hot"), 1);
+        assert_eq!(r.get("hot", b"k"), Some(4095u32.to_le_bytes().as_slice()));
+    }
+
+    #[test]
+    fn snapshot_during_open_batch_flushes_it_first() {
+        let mut s = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
+        s.group_begin();
+        let mut t = s.begin();
+        t.put("t", b"k", b"v");
+        t.commit();
+        s.snapshot();
+        assert_eq!(s.group_pending(), 0, "snapshot drained the batch");
+        assert_eq!(s.stats().batches, 1);
+        // The batch flush preceded the truncation, so the image is just
+        // the snapshot and recovery still sees the row.
+        let r = Store::recover(s.shutdown(), StoreConfig::default());
+        assert_eq!(r.get("t", b"k"), Some(b"v".as_slice()));
+    }
+
+    #[test]
     fn empty_commit_is_durable_noop() {
         let mut s = store();
         let t = s.begin();
@@ -700,6 +971,12 @@ mod tests {
             let mut d = self.disk.clone();
             d.fsync();
             d
+        }
+
+        /// Test helper: clone the device as-is (unsynced tail and any
+        /// open group batch stay volatile).
+        fn disk_clone(&self) -> SimDisk {
+            self.disk.clone()
         }
     }
 }

@@ -39,6 +39,13 @@ pub enum RecordKind {
     Commit = 1,
     /// A full-state snapshot (checkpoint); earlier records are obsolete.
     Snapshot = 2,
+    /// A group commit: several transactions' op payloads framed as ONE
+    /// record (see [`push_batch_txn`]/[`decode_batch`]). `lsn` is the
+    /// first transaction's; recovery advances by the txn count. The
+    /// whole-frame CRC makes the batch all-or-nothing: a crash mid-write
+    /// tears the frame and every transaction in it is rolled back
+    /// together.
+    Batch = 3,
 }
 
 /// A decoded WAL record.
@@ -120,6 +127,7 @@ pub fn decode_all(bytes: &[u8]) -> (Vec<Record>, usize) {
         let kind = match bytes[off + 2] {
             1 => RecordKind::Commit,
             2 => RecordKind::Snapshot,
+            3 => RecordKind::Batch,
             _ => break,
         };
         let lsn = u64::from_le_bytes(bytes[off + 3..off + 11].try_into().expect("8 bytes"));
@@ -140,6 +148,36 @@ pub fn decode_all(bytes: &[u8]) -> (Vec<Record>, usize) {
         off = body_end;
     }
     (records, off)
+}
+
+/// Append one transaction's encoded ops to an accumulating
+/// [`RecordKind::Batch`] payload: `u32 len | ops bytes` per transaction
+/// (a zero-op commit contributes a zero-length entry and still counts
+/// toward the batch's LSN span).
+pub fn push_batch_txn(group: &mut Vec<u8>, ops_payload: &[u8]) {
+    group.extend_from_slice(&(ops_payload.len() as u32).to_le_bytes());
+    group.extend_from_slice(ops_payload);
+}
+
+/// Split a [`RecordKind::Batch`] payload back into per-transaction op
+/// payloads. The frame CRC already vouches for the bytes, so a
+/// malformed inner length can only mean an encoder bug — the scan stops
+/// defensively rather than panicking.
+pub fn decode_batch(payload: &[u8]) -> Vec<&[u8]> {
+    let mut txns = Vec::new();
+    let mut off = 0usize;
+    while payload.len() - off >= 4 {
+        let len =
+            u32::from_le_bytes(payload[off..off + 4].try_into().expect("4 bytes")) as usize;
+        off += 4;
+        let Some(end) = off.checked_add(len) else { break };
+        if end > payload.len() {
+            break;
+        }
+        txns.push(&payload[off..end]);
+        off = end;
+    }
+    txns
 }
 
 #[cfg(test)]
@@ -207,6 +245,40 @@ mod tests {
         let (decoded, consumed) = decode_all(b"not a wal at all, definitely");
         assert!(decoded.is_empty());
         assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn batch_payload_roundtrips_per_txn() {
+        let mut group = Vec::new();
+        push_batch_txn(&mut group, b"txn-a");
+        push_batch_txn(&mut group, b"");
+        push_batch_txn(&mut group, b"txn-c-longer");
+        let txns = decode_batch(&group);
+        assert_eq!(txns, vec![&b"txn-a"[..], &b""[..], &b"txn-c-longer"[..]]);
+    }
+
+    #[test]
+    fn batch_record_roundtrips_through_the_frame() {
+        let mut group = Vec::new();
+        push_batch_txn(&mut group, b"alpha");
+        push_batch_txn(&mut group, b"beta");
+        let frame = encode(&rec(5, RecordKind::Batch, &group));
+        let (decoded, consumed) = decode_all(&frame);
+        assert_eq!(consumed, frame.len());
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].kind, RecordKind::Batch);
+        assert_eq!(decoded[0].lsn, 5);
+        assert_eq!(decode_batch(&decoded[0].payload).len(), 2);
+    }
+
+    #[test]
+    fn truncated_batch_inner_length_stops_defensively() {
+        let mut group = Vec::new();
+        push_batch_txn(&mut group, b"ok");
+        group.extend_from_slice(&(100u32).to_le_bytes()); // lies past the end
+        group.extend_from_slice(b"short");
+        let txns = decode_batch(&group);
+        assert_eq!(txns, vec![&b"ok"[..]]);
     }
 
     #[test]

@@ -145,6 +145,83 @@ proptest! {
         prop_assert_eq!(r.get("vnis", b"new"), Some(b"row".as_slice()));
     }
 
+    /// Group-commit batches are all-or-nothing: truncating the device at
+    /// ANY byte offset (a torn write mid-group-commit) recovers exactly
+    /// the state at some batch boundary — never part of a batch, never a
+    /// lost flushed one.
+    #[test]
+    fn torn_group_commit_recovers_whole_batches_only(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        batch_every in 2u64..8,
+        cut_seed in any::<u64>(),
+    ) {
+        let mut store = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
+        store.group_begin();
+        let mut committed: Model = BTreeMap::new();
+        let mut staged: Vec<ScriptOp> = Vec::new();
+        // Every state the device can legally recover to: the empty store
+        // plus the committed model at each flush/snapshot boundary.
+        let mut boundaries: Vec<Model> = vec![BTreeMap::new()];
+        let mut commits = 0u64;
+        for op in &ops {
+            match op {
+                ScriptOp::Put { .. } | ScriptOp::Delete { .. } => staged.push(op.clone()),
+                ScriptOp::AbortTxn => staged.clear(),
+                ScriptOp::Snapshot => {
+                    store.snapshot(); // flushes the open batch first
+                    boundaries.push(committed.clone());
+                }
+                ScriptOp::CommitTxn => {
+                    let mut txn = store.begin();
+                    for s in &staged {
+                        match s {
+                            ScriptOp::Put { table, key, value } => {
+                                txn.put(table_name(*table), &[*key], &value.to_le_bytes());
+                            }
+                            ScriptOp::Delete { table, key } => {
+                                txn.delete(table_name(*table), &[*key]);
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    txn.commit();
+                    for s in staged.drain(..) {
+                        match s {
+                            ScriptOp::Put { table, key, value } => {
+                                committed.insert(
+                                    (table_name(table).to_string(), vec![key]),
+                                    value.to_le_bytes().to_vec(),
+                                );
+                            }
+                            ScriptOp::Delete { table, key } => {
+                                committed.remove(&(table_name(table).to_string(), vec![key]));
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    commits += 1;
+                    if commits.is_multiple_of(batch_every) {
+                        store.group_flush();
+                        boundaries.push(committed.clone());
+                    }
+                }
+            }
+        }
+        store.group_end();
+        boundaries.push(committed.clone());
+        let full = store.shutdown();
+        let cut = (cut_seed % (full.len() as u64 + 1)) as usize;
+        let mut torn = SimDisk::new();
+        torn.append(&full.contents()[..cut]);
+        torn.fsync();
+        let recovered = Store::recover(torn, StoreConfig::default());
+        let state = dump(&recovered);
+        prop_assert!(
+            boundaries.contains(&state),
+            "cut {} of {} bytes recovered a non-boundary state", cut, full.len()
+        );
+    }
+
     /// A torn tail (arbitrary garbage appended then crash) never corrupts
     /// the committed prefix.
     #[test]
