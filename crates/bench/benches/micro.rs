@@ -13,7 +13,9 @@ use shs_fabric::{Fabric, NicAddr, TrafficClass, Vni};
 use shs_oslinux::{Gid, Host, NetNsId, Pid, Uid};
 use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
-use slingshot_k8s::{AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload};
+use slingshot_k8s::{
+    AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload, FabricTransferHotWorkload,
+};
 
 fn bench_ep_alloc_auth(c: &mut Criterion) {
     // The §III-A member check: netns vs uid member types.
@@ -126,6 +128,16 @@ fn bench_fabric_transfer_hot(c: &mut Criterion) {
     });
 }
 
+fn bench_fabric_adaptive_hot(c: &mut Criterion) {
+    // The adaptive twin of `fabric_transfer_hot` (shared with
+    // `bench-run`): the same NIC cycling under UGAL routing, so the
+    // delta between the two lines is the injection-time queue compare.
+    c.bench_function("fabric_adaptive_hot", |b| {
+        let mut w = FabricAdaptiveHotWorkload::new();
+        b.iter(|| black_box(w.step()))
+    });
+}
+
 fn bench_osu_allreduce(c: &mut Criterion) {
     // The collective hot path (shared with `bench-run`): one 8-rank,
     // 64 KiB ring allreduce per iteration over a 2-group dragonfly,
@@ -199,7 +211,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_vni_db_churn_hot,
               bench_store_commit, bench_fabric_transfer, bench_fabric_transfer_hot,
-              bench_osu_allreduce, bench_nic_send, bench_netns_lookup,
-              bench_switch_forward_denied
+              bench_fabric_adaptive_hot, bench_osu_allreduce, bench_nic_send,
+              bench_netns_lookup, bench_switch_forward_denied
 }
 criterion_main!(micro);

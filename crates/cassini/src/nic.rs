@@ -367,7 +367,7 @@ impl CassiniNic {
     /// Issue a message send. Kernel is not involved — this is the
     /// kernel-bypass path, which is why its cost is identical whether or
     /// not the container integration is active (the paper's Figs. 5-8).
-#[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     pub fn send(
         &mut self,
         now: SimTime,
@@ -389,8 +389,13 @@ impl CassiniNic {
         let doorbell = SimDur::from_nanos((self.params.doorbell_ns as f64 * noise) as u64);
         let tx_cost = SimDur::from_nanos((self.params.tx_msg_ns as f64 * noise) as u64);
 
+        // ECN sender pacing: every congestion mark the fabric fed back
+        // since this NIC's previous send delays the next issue. Zero
+        // marks (any fabric at the default ECN threshold) adds nothing.
+        let pace = SimDur::from_nanos(self.params.ecn_pace_ns * fabric.take_ecn_marks(self.addr));
+
         // TX engine serializes message issue.
-        let start = (now + doorbell).max(self.tx_engine_busy);
+        let start = (now + doorbell + pace).max(self.tx_engine_busy);
         let issued = start + tx_cost;
         self.tx_engine_busy = issued;
 

@@ -21,6 +21,11 @@ pub struct CassiniParams {
     pub per_msg_sigma: f64,
     /// Multiplicative log-normal sigma for the per-NIC, per-run factor.
     pub per_run_sigma: f64,
+    /// Sender pacing per ECN mark (ns): each congestion mark the fabric
+    /// fed back since the NIC's previous send delays the next TX issue
+    /// by this much. With the cost model's default ECN threshold no
+    /// mark ever fires, so legacy runs pay zero pacing.
+    pub ecn_pace_ns: u64,
 }
 
 impl Default for CassiniParams {
@@ -31,6 +36,7 @@ impl Default for CassiniParams {
             rx_msg_ns: 450,
             per_msg_sigma: 0.002,
             per_run_sigma: 0.003,
+            ecn_pace_ns: 500,
         }
     }
 }

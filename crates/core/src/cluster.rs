@@ -72,6 +72,13 @@ pub struct ClusterConfig {
     /// trunk), packed fills each switch's edge ports first so
     /// consecutive nodes share a group.
     pub placement: NodePlacement,
+    /// Fabric routing policy. The default (`Minimal`) keeps every
+    /// legacy scenario byte-identical; `Adaptive` turns on the per-
+    /// message UGAL minimal-vs-Valiant choice (see FABRIC.md).
+    pub routing: RoutingPolicy,
+    /// Fabric cost model; scenarios override it to lower the ECN
+    /// threshold (sender pacing) or bias the UGAL decision.
+    pub cost_model: CostModel,
 }
 
 /// Node → switch placement policy (topology-aware rank placement).
@@ -101,6 +108,8 @@ impl Default for ClusterConfig {
             vni_shards: 1,
             topology: None,
             placement: NodePlacement::RoundRobin,
+            routing: RoutingPolicy::Minimal,
+            cost_model: CostModel::default(),
         }
     }
 }
@@ -295,8 +304,7 @@ impl Cluster {
         let mut api = ApiServer::default();
         let spec =
             config.topology.unwrap_or_else(|| TopologySpec::single_switch(config.nodes + 8));
-        let mut fabric =
-            Fabric::with_topology(CostModel::default(), spec, RoutingPolicy::Minimal);
+        let mut fabric = Fabric::with_topology(config.cost_model, spec, config.routing);
         let switches = spec.total_switches();
         assert!(
             config.nodes <= switches * spec.edge_ports,

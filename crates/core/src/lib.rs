@@ -62,5 +62,6 @@ pub use vni_db::{
     VniState,
 };
 pub use workloads::{
-    AcquireReleaseWorkload, ChurnHotWorkload, FabricTransferHotWorkload, VniStressWorkload,
+    AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload,
+    FabricTransferHotWorkload, VniStressWorkload,
 };

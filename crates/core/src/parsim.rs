@@ -16,7 +16,8 @@
 
 use serde::Serialize;
 use shs_fabric::{
-    run_sweep, CostModel, RoutingPolicy, SweepConfig, SweepStats, TopologySpec, TrafficClass,
+    run_sweep, CostModel, FaultKind, RoutingPolicy, SweepConfig, SweepFault, SweepStats, SwitchId,
+    TopologySpec, TrafficClass,
 };
 
 /// A named cluster-scale fabric sweep: the parallel-engine counterpart
@@ -77,6 +78,10 @@ pub struct FabricSweepReport {
     pub delivered: u64,
     /// Messages congestion-dropped.
     pub congestion_drops: u64,
+    /// Messages dropped `NoRoute` by a fault (absent when zero, so
+    /// healthy sweeps serialize byte-identically to earlier releases).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub route_drops: Option<u64>,
     /// Payload bytes delivered.
     pub payload_bytes: u64,
     /// Mean end-to-end latency of delivered messages (ns).
@@ -116,6 +121,7 @@ fn report_from(sc: &FabricScenario, stats: &SweepStats) -> FabricSweepReport {
         sent: stats.totals.sent,
         delivered: stats.totals.delivered,
         congestion_drops: stats.totals.congestion_drops,
+        route_drops: (stats.totals.route_drops > 0).then_some(stats.totals.route_drops),
         payload_bytes: stats.totals.payload_bytes,
         mean_latency_ns: stats.mean_latency_ns(),
         max_latency_ns: stats.totals.latency_max_ns,
@@ -169,6 +175,7 @@ fn dragonfly_1024(seed: u64) -> FabricScenario {
             cross_group_every: 2,
             seed,
             model: CostModel::default(),
+            faults: Vec::new(),
         },
     }
 }
@@ -189,6 +196,7 @@ fn dragonfly_256_valiant(seed: u64) -> FabricScenario {
             cross_group_every: 1,
             seed,
             model: CostModel::default(),
+            faults: Vec::new(),
         },
     }
 }
@@ -209,6 +217,37 @@ fn trunk_contended_128(seed: u64) -> FabricScenario {
             cross_group_every: 1,
             seed,
             model: CostModel::default(),
+            faults: Vec::new(),
+        },
+    }
+}
+
+/// Runtime resilience at 256 nodes: adaptive (UGAL) routing with a
+/// trunk cut mid-sweep and restored near the end. Messages reroute
+/// deterministically; in-flight ones on the dead trunk are route-
+/// dropped — and the whole report stays bit-identical per thread count.
+fn dragonfly_256_trunkcut(seed: u64) -> FabricScenario {
+    // Gateway pair of the (0, 1) group trunk: local switch 1 in group 0,
+    // local switch 0 in group 1 (4 switches per group).
+    let gw01 = SwitchId(1);
+    let gw10 = SwitchId(4);
+    FabricScenario {
+        name: "dragonfly-256-trunkcut",
+        description: "256-node 4-group dragonfly, adaptive routing, trunk cut mid-sweep then restored",
+        config: SweepConfig {
+            spec: TopologySpec { groups: 4, switches_per_group: 4, edge_ports: 16 },
+            policy: RoutingPolicy::Adaptive,
+            nodes_per_switch: 16,
+            messages_per_node: 16,
+            payload_bytes: 4096,
+            interval_ns: 2_000,
+            cross_group_every: 1,
+            seed,
+            model: CostModel::default(),
+            faults: vec![
+                SweepFault { at_ns: 8_000, kind: FaultKind::LinkDown(gw01, gw10) },
+                SweepFault { at_ns: 24_000, kind: FaultKind::LinkUp(gw01, gw10) },
+            ],
         },
     }
 }
@@ -216,7 +255,12 @@ fn trunk_contended_128(seed: u64) -> FabricScenario {
 /// The parallel scenario library, smallest first. `dragonfly-1024` is
 /// the headline scale target of the sharded engine.
 pub fn parallel_library(seed: u64) -> Vec<FabricScenario> {
-    vec![trunk_contended_128(seed), dragonfly_256_valiant(seed), dragonfly_1024(seed)]
+    vec![
+        trunk_contended_128(seed),
+        dragonfly_256_valiant(seed),
+        dragonfly_256_trunkcut(seed),
+        dragonfly_1024(seed),
+    ]
 }
 
 /// Look up one parallel scenario by name.
@@ -260,6 +304,30 @@ mod tests {
         assert!(report.congestion_drops > 0, "burst load must overflow a finite trunk queue");
         let by_class_drops: u64 = report.by_class.iter().map(|c| c.congestion_drops).sum();
         assert_eq!(by_class_drops, report.congestion_drops);
+    }
+
+    #[test]
+    fn trunkcut_scenario_reroutes_and_stays_thread_invariant() {
+        let sc = parallel_by_name("dragonfly-256-trunkcut", 42).expect("fault scenario");
+        let base = run_fabric_scenario(&sc, 1);
+        assert!(base.passed, "{base:?}");
+        assert!(base.delivered > 0, "adaptive fallback keeps routing around the cut");
+        assert_eq!(
+            base.sent,
+            base.delivered + base.congestion_drops + base.route_drops.unwrap_or(0),
+        );
+        let json = serde_json::to_string_pretty(&base).unwrap();
+        for threads in [2usize, 4] {
+            let run = serde_json::to_string_pretty(&run_fabric_scenario(&sc, threads)).unwrap();
+            assert_eq!(run, json, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn healthy_sweep_reports_omit_route_drops() {
+        let sc = parallel_by_name("dragonfly-1024", 42).unwrap();
+        let json = serde_json::to_string_pretty(&run_fabric_scenario(&sc, 2)).unwrap();
+        assert!(!json.contains("route_drops"), "absent-when-zero keeps legacy bytes");
     }
 
     #[test]

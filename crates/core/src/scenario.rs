@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::Serialize;
 use shs_des::{Sim, SimDur, SimTime};
-use shs_fabric::{TopologySpec, TrafficClass, TransferOutcome, Vni};
+use shs_fabric::{FaultKind, RoutingPolicy, SwitchId, TopologySpec, TrafficClass, TransferOutcome, Vni};
 use shs_k8s::{kinds, spec_of, status_of, KubeletParams, PodSpec, PodStatus};
 
 use crate::cluster::{alpine, Cluster, ClusterConfig, PodHandle};
@@ -139,6 +139,34 @@ pub enum Fault {
         node: usize,
         /// Injection instant.
         at: SimTime,
+    },
+    /// Cut the trunk between two switches. In-flight messages are
+    /// unaffected; subsequent transfers reroute deterministically (or
+    /// drop with `NoRoute` if the fabric is partitioned).
+    LinkDown {
+        /// Injection instant.
+        at: SimTime,
+        /// One endpoint switch index.
+        a: usize,
+        /// The other endpoint switch index.
+        b: usize,
+    },
+    /// Restore a previously cut trunk.
+    LinkUp {
+        /// Injection instant.
+        at: SimTime,
+        /// One endpoint switch index.
+        a: usize,
+        /// The other endpoint switch index.
+        b: usize,
+    },
+    /// Take a whole switch out of service (kills every trunk touching
+    /// it; endpoints stay bound and drop with `NoRoute`).
+    SwitchDown {
+        /// Injection instant.
+        at: SimTime,
+        /// Switch index.
+        switch: usize,
     },
 }
 
@@ -258,6 +286,15 @@ pub struct JobTraffic {
     /// This tenant's messages dropped by trunk congestion management,
     /// from the fabric's per-VNI counters.
     pub fabric_congestion_drops: u64,
+    /// Deliveries that took a repaired (non-policy) route because a
+    /// fault masked the preferred path; absent when zero so reports
+    /// from fault-free runs are byte-identical to earlier versions.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fabric_reroutes: Option<u64>,
+    /// ECN marks accrued by this tenant's deliveries; absent when zero
+    /// (the default mark threshold never fires).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fabric_ecn_marks: Option<u64>,
 }
 
 /// Fabric traffic metrics (authorized rank-to-rank sends).
@@ -289,6 +326,14 @@ pub struct TrafficReport {
     /// run collective patterns (all other reports are unchanged).
     #[serde(skip_serializing_if = "Vec::is_empty")]
     pub by_job: Vec<JobTraffic>,
+    /// Whole-fabric reroute count (deliveries that took a repaired
+    /// route after a fault); absent when zero, so fault-free reports
+    /// are byte-identical to earlier versions.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fabric_reroutes: Option<u64>,
+    /// Whole-fabric ECN mark count; absent when zero.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fabric_ecn_marks: Option<u64>,
 }
 
 /// VNI Service metrics (from the endpoint counters and the database).
@@ -766,6 +811,24 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
                 let node = *node;
                 sim.at(*at, move |s| drain_ev(s, node));
             }
+            Fault::LinkDown { at, a, b } => {
+                let (a, b) = (SwitchId(*a), SwitchId(*b));
+                sim.at(*at, move |s| {
+                    s.world.cluster.fabric.apply_fault(FaultKind::LinkDown(a, b));
+                });
+            }
+            Fault::LinkUp { at, a, b } => {
+                let (a, b) = (SwitchId(*a), SwitchId(*b));
+                sim.at(*at, move |s| {
+                    s.world.cluster.fabric.apply_fault(FaultKind::LinkUp(a, b));
+                });
+            }
+            Fault::SwitchDown { at, switch } => {
+                let sw = SwitchId(*switch);
+                sim.at(*at, move |s| {
+                    s.world.cluster.fabric.apply_fault(FaultKind::SwitchDown(sw));
+                });
+            }
         }
     }
 
@@ -950,6 +1013,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
                     max_latency_ns: agg.lat_max_ns,
                     fabric_switch_hops: fab.switch_hops,
                     fabric_congestion_drops: fab.congestion_drops,
+                    fabric_reroutes: (fab.reroutes > 0).then_some(fab.reroutes),
+                    fabric_ecn_marks: (fab.ecn_marks > 0).then_some(fab.ecn_marks),
                 }
             })
             .collect()
@@ -957,6 +1022,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         Vec::new()
     };
 
+    let fabric_totals = w.cluster.fabric.traffic_totals();
     let traffic_expected =
         scenario.jobs.iter().any(|j| j.traffic.is_some() && j.ranks >= 2);
     let mut report = ScenarioReport {
@@ -985,6 +1051,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             payload_bytes: w.m.payload_bytes,
             by_class,
             by_job,
+            fabric_reroutes: (fabric_totals.reroutes > 0).then_some(fabric_totals.reroutes),
+            fabric_ecn_marks: (fabric_totals.ecn_marks > 0).then_some(fabric_totals.ecn_marks),
         },
         vni: VniReport {
             acquisitions: counters.acquisitions,
@@ -1041,6 +1109,14 @@ fn std_traffic() -> TrafficPlan {
 /// and incasts must cross the single global link.
 fn two_group_topology() -> TopologySpec {
     TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 8 }
+}
+
+/// The 3-group dragonfly the fault/adaptive scenarios run on: the
+/// smallest all-to-all group graph where every trunk has an alternate
+/// (Valiant) path, so a single link cut degrades routes instead of
+/// partitioning the fabric.
+fn three_group_topology() -> TopologySpec {
+    TopologySpec { groups: 3, switches_per_group: 1, edge_ports: 8 }
 }
 
 /// Three tenants with dedicated VNIs, a shared claim, and a baseline
@@ -1414,6 +1490,167 @@ pub fn cross_group_allreduce(seed: u64) -> Scenario {
     }
 }
 
+/// A 4-rank ring allreduce whose every hop crosses the (0,1) trunk of a
+/// 3-group dragonfly, with that trunk cut mid-run: UGAL routing must
+/// finish the collective by detouring through group 2 (the per-tenant
+/// report shows the reroute count and the 2→3 hop inflation), and the
+/// report must stay byte-identical at any thread count.
+pub fn trunk_cut_allreduce(seed: u64) -> Scenario {
+    // 6 nodes round-robined over 3 groups (node i → switch i % 3): the
+    // collective pins nodes 0/1/3/4, so ranks alternate switches 0 and
+    // 1 and every ring hop rides the (0,1) trunk. The cut at 5 s lands
+    // between allreduce rounds 4 and 5: the first half of the traffic
+    // takes the 2-switch minimal route, the second half detours
+    // 0→2→1.
+    let mut coll = job("hpc", "ring", 4, 500, VniMode::Dedicated);
+    coll.delete_at = Some(ms(30_000));
+    coll.pin_nodes = Some(vec![0, 1, 3, 4]);
+    coll.traffic = Some(TrafficPlan {
+        rounds: 8,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 20,
+        tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    Scenario {
+        name: "trunk-cut-allreduce".into(),
+        description: "4-rank cross-group allreduce loses its trunk mid-collective; UGAL \
+                      reroutes through the third group and the tenant report shows the \
+                      reroute count and hop inflation"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 6,
+            topology: Some(three_group_topology()),
+            routing: RoutingPolicy::Adaptive,
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![coll],
+        faults: vec![Fault::LinkDown { at: ms(5_000), a: 0, b: 1 }],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// The incast shape on a 3-group fabric while the contended trunk flaps
+/// down/up twice: bulk traffic must keep flowing through the detour
+/// during the down windows and the low-latency probe sharing the trunk
+/// must see zero drops throughout.
+pub fn flapping_link_incast(seed: u64) -> Scenario {
+    // 11 nodes round-robined over 3 groups: the sink's rank 0 lands on
+    // switch 0 (node 0) and its three senders on switch 1 (nodes
+    // 1/4/7), so the whole incast crosses the (0,1) trunk; the probe
+    // pair (nodes 9/10) rings across the same trunk. The (0,1) link
+    // flaps down at 3 s and 9 s and recovers at 6 s and 12 s, squarely
+    // inside both traffic windows.
+    let mut sink = job("sink", "fanin", 4, 500, VniMode::Dedicated);
+    sink.delete_at = Some(ms(30_000));
+    sink.pin_nodes = Some(vec![0, 1, 4, 7]);
+    sink.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 21,
+        tc: TrafficClass::BulkData,
+        burst: 4,
+        pattern: TrafficPattern::Incast,
+    });
+    let mut probe = job("probe", "probe", 2, 1_000, VniMode::Dedicated);
+    probe.delete_at = Some(ms(30_000));
+    probe.pin_nodes = Some(vec![9, 10]);
+    probe.traffic = Some(TrafficPlan {
+        rounds: 20,
+        interval: SimDur::from_millis(500),
+        size: 64,
+        tc: TrafficClass::LowLatency,
+        burst: 1,
+        pattern: TrafficPattern::Ring,
+    });
+    Scenario {
+        name: "flapping-link-incast".into(),
+        description: "3→1 bulk incast while its trunk flaps down/up twice; UGAL detours \
+                      through the spare group during the outages and the low-latency probe \
+                      must take zero drops"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 11,
+            topology: Some(three_group_topology()),
+            routing: RoutingPolicy::Adaptive,
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![sink, probe],
+        faults: vec![
+            Fault::LinkDown { at: ms(3_000), a: 0, b: 1 },
+            Fault::LinkUp { at: ms(6_000), a: 0, b: 1 },
+            Fault::LinkDown { at: ms(9_000), a: 0, b: 1 },
+            Fault::LinkUp { at: ms(12_000), a: 0, b: 1 },
+        ],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// The incast shape with UGAL adaptive routing on a healthy 3-group
+/// fabric — the A/B counterpart to running the same scenario with
+/// [`RoutingPolicy::Minimal`]: diverting part of the burst through the
+/// spare group must lower the worst bulk-class trunk queue depth while
+/// the low-latency probe keeps zero drops (asserted by the scenario
+/// suite, which runs both sides).
+pub fn adaptive_incast(seed: u64) -> Scenario {
+    // Same placement as the flapping scenario, no faults: three senders
+    // on switch 1 incast into switch 0, so minimal routing funnels
+    // every burst down the (0,1) trunk while UGAL can spill over the
+    // 1→2→0 detour once the direct queue crosses the UGAL break-even.
+    // The burst is sized *below* the 100 µs congestion-clip bound
+    // (12 × 128 KiB ≈ 60 µs of minimal-route backlog), so the trunk
+    // pressure is visible as accepted queue depth rather than being
+    // flattened into drops — the quantity the A/B compares.
+    let mut sink = job("sink", "fanin", 4, 500, VniMode::Dedicated);
+    sink.delete_at = Some(ms(30_000));
+    sink.pin_nodes = Some(vec![0, 1, 4, 7]);
+    sink.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 17,
+        tc: TrafficClass::BulkData,
+        burst: 4,
+        pattern: TrafficPattern::Incast,
+    });
+    let mut probe = job("probe", "probe", 2, 1_000, VniMode::Dedicated);
+    probe.delete_at = Some(ms(30_000));
+    probe.pin_nodes = Some(vec![9, 10]);
+    probe.traffic = Some(TrafficPlan {
+        rounds: 20,
+        interval: SimDur::from_millis(500),
+        size: 64,
+        tc: TrafficClass::LowLatency,
+        burst: 1,
+        pattern: TrafficPattern::Ring,
+    });
+    Scenario {
+        name: "adaptive-incast".into(),
+        description: "3→1 bulk incast on a 3-group fabric under UGAL adaptive routing; \
+                      spillover through the spare group lowers the worst trunk queue depth \
+                      vs minimal routing, sparing the low-latency probe"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 11,
+            topology: Some(three_group_topology()),
+            routing: RoutingPolicy::Adaptive,
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![sink, probe],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
 /// The named scenario library executed by `scenario-run`.
 pub fn library(seed: u64) -> Vec<Scenario> {
     vec![
@@ -1426,6 +1663,9 @@ pub fn library(seed: u64) -> Vec<Scenario> {
         incast(seed),
         collective_noisy_neighbor(seed),
         cross_group_allreduce(seed),
+        trunk_cut_allreduce(seed),
+        flapping_link_incast(seed),
+        adaptive_incast(seed),
     ]
 }
 
@@ -1643,17 +1883,20 @@ mod tests {
     }
 
     #[test]
-    fn library_has_nine_distinct_scenarios() {
+    fn library_has_twelve_distinct_scenarios() {
         let lib = library(1);
-        assert_eq!(lib.len(), 9);
+        assert_eq!(lib.len(), 12);
         let names: std::collections::BTreeSet<_> =
             lib.iter().map(|s| s.name.clone()).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 12);
         assert!(by_name("churn", 1).is_some());
         assert!(by_name("noisy-neighbor", 1).is_some());
         assert!(by_name("incast", 1).is_some());
         assert!(by_name("collective-noisy-neighbor", 1).is_some());
         assert!(by_name("cross-group-allreduce", 1).is_some());
+        assert!(by_name("trunk-cut-allreduce", 1).is_some());
+        assert!(by_name("flapping-link-incast", 1).is_some());
+        assert!(by_name("adaptive-incast", 1).is_some());
         assert!(by_name("nope", 1).is_none());
     }
 }

@@ -13,8 +13,11 @@
 //! overflow is a congestion drop, counted per hop, per class, and per
 //! tenant VNI.
 
+use std::collections::BTreeMap;
+
 use shs_des::{SimDur, SimTime};
 
+use crate::faults::{repair_route, FaultKind, LivenessMask, MAX_REPAIR_PATH};
 use crate::packet::{CostModel, Packet};
 use crate::switch::{DropReason, Switch, SwitchConfig};
 use crate::topology::{RoutingPolicy, Topology, TopologySpec};
@@ -96,6 +99,18 @@ impl TrunkState {
         self.counters[cls].queued_ns_max = self.counters[cls].queued_ns_max.max(queued_ns);
         Ok((start, start + ser_eff))
     }
+
+    /// Current queue depth of one class in ns: how long a message of
+    /// this class injected at `now` would wait before its head enters
+    /// the link. The live-occupancy signal UGAL routing decides on.
+    pub(crate) fn queue_ns(&self, tc: TrafficClass, now: SimTime) -> u64 {
+        let busy = self.cls_busy[tc.index()];
+        if busy > now {
+            (busy - now).as_nanos()
+        } else {
+            0
+        }
+    }
 }
 
 /// Outcome of a message-level transfer.
@@ -117,7 +132,7 @@ pub enum TransferOutcome {
 /// Fabric-level traffic accounting, keyed by VNI (the granularity the
 /// fabric manager exposes to monitoring). Per-hop congestion and drop
 /// counters roll up here per tenant.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VniTraffic {
     /// Delivered messages.
     pub messages: u64,
@@ -131,6 +146,13 @@ pub struct VniTraffic {
     /// Delivered messages per traffic class, in
     /// [`TrafficClass::index`] order.
     pub class_messages: [u64; 4],
+    /// Delivered messages that took a route other than the policy's
+    /// first choice because a fault killed it (deterministic reroute).
+    pub reroutes: u64,
+    /// ECN marks accrued by this tenant's messages: trunk hops accepted
+    /// after queueing past the cost model's `ecn_threshold_ns`. Zero
+    /// unless the threshold is lowered below the drop bound.
+    pub ecn_marks: u64,
 }
 
 /// Errors surfaced by fabric-manager operations.
@@ -198,6 +220,16 @@ pub struct Fabric {
     /// small and reads never iterate).
     traffic: Vec<(Vni, VniTraffic)>,
     audit: Vec<FabricAuditEvent>,
+    /// Runtime fault state. Empty on a healthy fabric — route selection
+    /// then takes the interned fast path untouched.
+    liveness: LivenessMask,
+    /// BFS repair routes computed since the last fault event, keyed by
+    /// `(src switch, dst switch)`; `None` caches "partitioned". Cleared
+    /// by [`Fabric::apply_fault`].
+    repair_cache: BTreeMap<(u32, u32), Option<Vec<SwitchId>>>,
+    /// ECN marks awaiting pickup by the sending NIC, per source NIC.
+    /// Consumed (and cleared) by [`Fabric::take_ecn_marks`].
+    ecn_feedback: BTreeMap<NicAddr, u64>,
 }
 
 impl Fabric {
@@ -244,6 +276,9 @@ impl Fabric {
             free_ports: vec![Vec::new(); n],
             traffic: Vec::new(),
             audit: Vec::new(),
+            liveness: LivenessMask::default(),
+            repair_cache: BTreeMap::new(),
+            ecn_feedback: BTreeMap::new(),
         }
     }
 
@@ -349,6 +384,13 @@ impl Fabric {
         };
         let (_, (sw, port)) = self.ports_of.remove(i);
         self.switches[sw].unbind(port);
+        // Drop the port's edge-link busy horizon and any ECN feedback the
+        // departed NIC never collected: a message still serializing on a
+        // trunk when its sender detaches must not leave state behind that
+        // a later attach on the recycled port (or address) would inherit
+        // — per-VNI counters stay exactly as booked at delivery time.
+        self.links[sw][port.0] = LinkState::default();
+        self.ecn_feedback.remove(&nic);
         self.free_ports[sw].push(port.0);
         true
     }
@@ -428,12 +470,51 @@ impl Fabric {
         out
     }
 
+    /// Apply a runtime fault event (scheduled through the DES by the
+    /// scenario engine): the liveness mask flips and every cached
+    /// repair route is invalidated. Interned route arenas are never
+    /// rebuilt — dead candidates are filtered per transfer.
+    pub fn apply_fault(&mut self, kind: FaultKind) {
+        self.liveness.apply(kind);
+        self.repair_cache.clear();
+    }
+
+    /// The current liveness mask (empty on a healthy fabric).
+    pub fn liveness(&self) -> &LivenessMask {
+        &self.liveness
+    }
+
+    /// Take (and clear) the ECN marks accrued against `nic`'s messages
+    /// since the last call — the sender-pacing feedback loop the Cassini
+    /// NIC model consumes before issuing its next message.
+    pub fn take_ecn_marks(&mut self, nic: NicAddr) -> u64 {
+        self.ecn_feedback.remove(&nic).unwrap_or(0)
+    }
+
+    /// Per-VNI counters summed over every tenant (monitoring roll-up;
+    /// `queued`-style maxima do not exist here, all fields are sums).
+    pub fn traffic_totals(&self) -> VniTraffic {
+        let mut out = VniTraffic::default();
+        for (_, t) in self.traffic.iter() {
+            out.messages += t.messages;
+            out.payload_bytes += t.payload_bytes;
+            out.congestion_drops += t.congestion_drops;
+            out.switch_hops += t.switch_hops;
+            for i in 0..4 {
+                out.class_messages[i] += t.class_messages[i];
+            }
+            out.reroutes += t.reroutes;
+            out.ecn_marks += t.ecn_marks;
+        }
+        out
+    }
+
     /// Message-level transfer: enforcement at the source and destination
     /// edge switches, deterministic routing over the topology, link
     /// reservation hop by hop, and the arrival time of the last byte
     /// (cut-through pipelining: end-to-end time ≈ one serialization of
     /// the message plus per-hop constants, plus any queueing).
-#[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     pub fn transfer(
         &mut self,
         now: SimTime,
@@ -497,6 +578,11 @@ impl Fabric {
         // back, so contended classes see their serialization stretch in
         // the reported arrival, not only in the trunk's busy horizon.
         let mut tail_t = src_done;
+        // ECN marks accrued on this message (a trunk accepted it after
+        // queueing past `ecn_threshold_ns`) and whether the route was a
+        // failure reroute; both are booked per tenant at delivery.
+        let mut ecn_marks = 0u64;
+        let mut rerouted = false;
         if ssw == dsw {
             // Same-switch fast path (every legacy single-switch fabric):
             // no route to compute, no trunks to schedule, no allocation.
@@ -511,8 +597,9 @@ impl Fabric {
             // Valiant copies its interned detour route onto the stack
             // (≤ 6 switch ids). Neither allocates.
             let step = SimDur::from_nanos(self.model.propagation_ns + self.model.hop_latency_ns);
+            let healthy = self.liveness.is_empty();
             match self.topo.policy() {
-                RoutingPolicy::Minimal => {
+                RoutingPolicy::Minimal if healthy => {
                     let mut a = ssw;
                     while a != dsw {
                         let b = self.topo.next_hop_min(SwitchId(a), SwitchId(dsw)).0;
@@ -521,6 +608,9 @@ impl Fabric {
                                 Ok(t) => t,
                                 Err(outcome) => return outcome,
                             };
+                        if (start - head_t).as_nanos() > self.model.ecn_threshold_ns {
+                            ecn_marks += 1;
+                        }
                         head_t = start + step;
                         tail_t = (tail_t + prop).max(finish);
                         self.switches[a].note_forwarded(pkts, len);
@@ -528,7 +618,7 @@ impl Fabric {
                         a = b;
                     }
                 }
-                RoutingPolicy::Valiant => {
+                RoutingPolicy::Valiant if healthy => {
                     let mut route_buf = [SwitchId(0); 6];
                     let cached = self.topo.route(SwitchId(ssw), SwitchId(dsw), msg_id);
                     let path = &mut route_buf[..cached.len()];
@@ -541,6 +631,44 @@ impl Fabric {
                                 Ok(t) => t,
                                 Err(outcome) => return outcome,
                             };
+                        if (start - head_t).as_nanos() > self.model.ecn_threshold_ns {
+                            ecn_marks += 1;
+                        }
+                        head_t = start + step;
+                        tail_t = (tail_t + prop).max(finish);
+                        self.switches[a].note_forwarded(pkts, len);
+                    }
+                }
+                _ => {
+                    // Adaptive routing, or any policy on a degraded
+                    // fabric: pick the route once at injection (UGAL
+                    // choice and/or deterministic failure fallback),
+                    // then walk it like the interned-route path above.
+                    let mut route_buf = [SwitchId(0); MAX_REPAIR_PATH];
+                    let Some((plen, rr)) = self.select_route(
+                        SwitchId(ssw),
+                        SwitchId(dsw),
+                        tc,
+                        msg_id,
+                        now,
+                        &mut route_buf,
+                    ) else {
+                        return TransferOutcome::Dropped(
+                            self.switches[ssw].note_drop(DropReason::NoRoute),
+                        );
+                    };
+                    rerouted = rr;
+                    hops = plen as u64;
+                    for i in 1..plen {
+                        let (a, b) = (route_buf[i - 1].0, route_buf[i].0);
+                        let (start, finish) =
+                            match self.traverse_trunk(a, b, tc, ser_ns, len, vni, head_t) {
+                                Ok(t) => t,
+                                Err(outcome) => return outcome,
+                            };
+                        if (start - head_t).as_nanos() > self.model.ecn_threshold_ns {
+                            ecn_marks += 1;
+                        }
                         head_t = start + step;
                         tail_t = (tail_t + prop).max(finish);
                         self.switches[a].note_forwarded(pkts, len);
@@ -566,7 +694,114 @@ impl Fabric {
         t.payload_bytes += len;
         t.switch_hops += hops;
         t.class_messages[tc.index()] += 1;
+        t.reroutes += rerouted as u64;
+        t.ecn_marks += ecn_marks;
+        if ecn_marks > 0 {
+            *self.ecn_feedback.entry(src).or_insert(0) += ecn_marks;
+        }
         TransferOutcome::Delivered { arrival, src_done }
+    }
+
+    /// Route selection for the adaptive/degraded path of
+    /// [`Fabric::transfer`]: the policy's primary route (for
+    /// [`RoutingPolicy::Adaptive`], the UGAL choice between minimal and
+    /// the salted Valiant detour) when it is fully live, else the
+    /// deterministic failure fallback — minimal, then every Valiant salt
+    /// class in `salt`-relative order, then a cached BFS repair over the
+    /// live graph. Copies the chosen route into `buf` and returns its
+    /// length plus whether it was a failure reroute; `None` means the
+    /// pair is partitioned (the caller drops `NoRoute`).
+    fn select_route(
+        &mut self,
+        ssw: SwitchId,
+        dsw: SwitchId,
+        tc: TrafficClass,
+        salt: u64,
+        now: SimTime,
+        buf: &mut [SwitchId; MAX_REPAIR_PATH],
+    ) -> Option<(usize, bool)> {
+        let (plen, live) = {
+            let primary: &[SwitchId] = match self.topo.policy() {
+                RoutingPolicy::Minimal => self.topo.route_minimal(ssw, dsw),
+                RoutingPolicy::Valiant => self.topo.route_valiant(ssw, dsw, salt),
+                RoutingPolicy::Adaptive => {
+                    let min = self.topo.route_minimal(ssw, dsw);
+                    let val = self.topo.route_valiant(ssw, dsw, salt);
+                    if self.ugal_prefers_valiant(min, val, tc, now) {
+                        val
+                    } else {
+                        min
+                    }
+                }
+            };
+            buf[..primary.len()].copy_from_slice(primary);
+            (primary.len(), self.liveness.route_live(primary))
+        };
+        if live {
+            return Some((plen, false));
+        }
+        // Deterministic fallback order, independent of queue state so
+        // serial and sharded runs agree: the minimal route first.
+        let min = self.topo.route_minimal(ssw, dsw);
+        if self.liveness.route_live(min) {
+            buf[..min.len()].copy_from_slice(min);
+            return Some((min.len(), true));
+        }
+        // Then every Valiant salt class, starting from the message's own
+        // and wrapping (a no-op below 3 groups, where every class
+        // degrades to the minimal route just rejected).
+        let classes = self.topo.salt_classes() as u64;
+        if self.topo.groups() >= 3 {
+            for k in 0..classes {
+                let val = self.topo.route_valiant(ssw, dsw, (salt + k) % classes);
+                if self.liveness.route_live(val) {
+                    buf[..val.len()].copy_from_slice(val);
+                    return Some((val.len(), true));
+                }
+            }
+        }
+        // Last resort: BFS over the live graph, cached per pair until
+        // the next fault event clears the cache.
+        let key = (ssw.0 as u32, dsw.0 as u32);
+        let repaired = match self.repair_cache.get(&key) {
+            Some(r) => r.clone(),
+            None => {
+                let r = repair_route(&self.topo, &self.liveness, ssw, dsw);
+                self.repair_cache.insert(key, r.clone());
+                r
+            }
+        };
+        let path = repaired?;
+        buf[..path.len()].copy_from_slice(&path);
+        Some((path.len(), true))
+    }
+
+    /// The UGAL-L decision: detour onto the salted Valiant route only
+    /// when the minimal path's cost — first-trunk queue depth × path
+    /// switch count — exceeds the detour's by more than the cost model's
+    /// `adaptive_bias_ns`. Only locally-observable state is consulted
+    /// (the candidate's first trunk hop), mirroring what a Rosetta
+    /// ingress port can see at injection time.
+    fn ugal_prefers_valiant(
+        &self,
+        min: &[SwitchId],
+        val: &[SwitchId],
+        tc: TrafficClass,
+        now: SimTime,
+    ) -> bool {
+        if val.len() <= min.len() {
+            // Degenerate detour (< 3 groups or same-group pair): the
+            // Valiant arena degraded to the minimal route.
+            return false;
+        }
+        let n = self.topo.switch_count();
+        let first_q = |path: &[SwitchId]| -> u64 {
+            let ti = self.trunk_idx[path[0].0 * n + path[1].0];
+            debug_assert!(ti != u32::MAX, "route follows topology links");
+            self.trunks[ti as usize].queue_ns(tc, now)
+        };
+        first_q(min) * min.len() as u64
+            > first_q(val) * val.len() as u64 + self.model.adaptive_bias_ns
     }
 
     /// One trunk hop of [`Fabric::transfer`]: the per-class finite-queue
@@ -1007,6 +1242,216 @@ mod tests {
             f.switch_at(SwitchId(0)).counters.drops.get(&DropReason::Congested),
             Some(&(drops as u64))
         );
+    }
+
+    /// 3 groups × 1 switch, one NIC on switch 0 and one on switch 1 —
+    /// the smallest fabric where minimal (`[0,1]`) and Valiant
+    /// (`[0,2,1]`) genuinely differ, for the adaptive and fault tests.
+    fn three_group(policy: RoutingPolicy) -> (Fabric, NicAddr, NicAddr) {
+        let mut f = Fabric::with_topology(
+            CostModel::default(),
+            TopologySpec { groups: 3, switches_per_group: 1, edge_ports: 4 },
+            policy,
+        );
+        let a = NicAddr(1);
+        let b = NicAddr(2);
+        f.attach_to(a, SwitchId(0));
+        f.attach_to(b, SwitchId(1));
+        granted(&mut f, a, b, Vni(7));
+        (f, a, b)
+    }
+
+    #[test]
+    fn adaptive_routing_diverts_off_a_backlogged_trunk() {
+        let (mut f, a, b) = three_group(RoutingPolicy::Adaptive);
+        let bulk = 1u64 << 20;
+        // First message sees empty queues everywhere: UGAL picks the
+        // minimal 2-switch route and backlogs trunk (0, 1).
+        assert!(matches!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::BulkData, bulk, 1),
+            TransferOutcome::Delivered { .. }
+        ));
+        assert_eq!(f.traffic(Vni(7)).switch_hops, 2);
+        // Second message at the same instant: minimal's first trunk is
+        // ~43 µs deep, the Valiant detour's is idle — 43 µs × 2 hops
+        // beats 0 × 3 hops, so UGAL detours via group 2.
+        assert!(matches!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::BulkData, bulk, 2),
+            TransferOutcome::Delivered { .. }
+        ));
+        let t = f.traffic(Vni(7));
+        assert_eq!(t.switch_hops, 2 + 3, "second message took the 3-switch detour");
+        assert_eq!(t.reroutes, 0, "an adaptive choice is not a failure reroute");
+        let detour = f.trunk_counters(SwitchId(0), SwitchId(2)).unwrap();
+        assert_eq!(detour[TrafficClass::BulkData.index()].messages, 1);
+    }
+
+    #[test]
+    fn trunk_cut_reroutes_deterministically_with_hop_delta() {
+        let (mut f, a, b) = three_group(RoutingPolicy::Minimal);
+        f.apply_fault(FaultKind::LinkDown(SwitchId(0), SwitchId(1)));
+        assert!(!f.liveness().is_empty());
+        let TransferOutcome::Delivered { arrival, .. } =
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 64, 1)
+        else {
+            panic!("reroute must deliver")
+        };
+        let t = f.traffic(Vni(7));
+        assert_eq!(t.switch_hops, 3, "detour [0,2,1] instead of minimal [0,1]");
+        assert_eq!(t.reroutes, 1);
+        // Strictly slower than the healthy minimal path: one extra hop.
+        assert!(arrival.as_nanos() > f.unloaded_route_ns(a, b, 64).unwrap());
+        for (s, d) in [(0, 2), (2, 1)] {
+            let c = f.trunk_counters(SwitchId(s), SwitchId(d)).unwrap();
+            assert_eq!(c[TrafficClass::Dedicated.index()].messages, 1, "({s},{d})");
+        }
+    }
+
+    #[test]
+    fn partition_drops_no_route_and_link_up_restores() {
+        let (mut f, a, b) = cross_group();
+        // The only inter-group trunk of a 2-group × 1-switch dragonfly:
+        // cutting it genuinely partitions the fabric.
+        f.apply_fault(FaultKind::LinkDown(SwitchId(0), SwitchId(1)));
+        assert_eq!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 1),
+            TransferOutcome::Dropped(DropReason::NoRoute)
+        );
+        assert_eq!(
+            f.switch_at(SwitchId(0)).counters.drops.get(&DropReason::NoRoute),
+            Some(&1)
+        );
+        assert_eq!(f.traffic(Vni(7)).messages, 0);
+        f.apply_fault(FaultKind::LinkUp(SwitchId(0), SwitchId(1)));
+        assert!(f.liveness().is_empty(), "recovered fabric is back on the fast path");
+        assert!(matches!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 2),
+            TransferOutcome::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn switch_down_spares_live_pairs_then_partitions_with_the_trunk() {
+        let (mut f, a, b) = three_group(RoutingPolicy::Minimal);
+        f.apply_fault(FaultKind::SwitchDown(SwitchId(2)));
+        // Minimal [0, 1] avoids the dead switch: delivered, no reroute.
+        assert!(matches!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 1),
+            TransferOutcome::Delivered { .. }
+        ));
+        assert_eq!(f.traffic(Vni(7)).reroutes, 0);
+        // Now the direct trunk dies too — with group 2 down there is no
+        // detour left.
+        f.apply_fault(FaultKind::LinkDown(SwitchId(0), SwitchId(1)));
+        assert_eq!(
+            f.transfer(SimTime::ZERO, a, b, Vni(7), TrafficClass::Dedicated, 8, 2),
+            TransferOutcome::Dropped(DropReason::NoRoute)
+        );
+    }
+
+    #[test]
+    fn ecn_marks_accrue_per_tenant_and_drain_per_sender() {
+        // Same incast shape as `incast_rig`, with the ECN threshold
+        // lowered below the queue bound so marks can fire.
+        let mut f = Fabric::with_topology(
+            CostModel { ecn_threshold_ns: 1_000, ..CostModel::default() },
+            TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        );
+        let senders = [NicAddr(1), NicAddr(2), NicAddr(3)];
+        let b = NicAddr(9);
+        for s in senders {
+            f.attach_to(s, SwitchId(0));
+            f.grant_vni(s, Vni(7)).unwrap();
+        }
+        f.attach_to(b, SwitchId(1));
+        f.grant_vni(b, Vni(7)).unwrap();
+        let bulk = 1u64 << 20;
+        for (i, s) in senders.iter().enumerate() {
+            assert!(matches!(
+                f.transfer(SimTime::ZERO, *s, b, Vni(7), TrafficClass::BulkData, bulk, i as u64),
+                TransferOutcome::Delivered { .. }
+            ));
+        }
+        // The first sender found the trunk idle; the two converging
+        // behind it each queued past the threshold and got marked.
+        assert_eq!(f.traffic(Vni(7)).ecn_marks, 2);
+        assert_eq!(f.take_ecn_marks(senders[0]), 0);
+        assert_eq!(f.take_ecn_marks(senders[1]), 1);
+        assert_eq!(f.take_ecn_marks(senders[1]), 0, "marks drain on read");
+        assert_eq!(f.take_ecn_marks(senders[2]), 1);
+    }
+
+    #[test]
+    fn default_threshold_never_marks() {
+        let (mut f, senders, b) = incast_rig();
+        for wave in 0..2u64 {
+            for (i, s) in senders.iter().enumerate() {
+                let id = wave * 3 + i as u64;
+                f.transfer(SimTime::ZERO, *s, b, Vni(7), TrafficClass::BulkData, 1 << 20, id);
+            }
+        }
+        // Queues grew past the default ECN threshold only where the
+        // message was *dropped* instead — accepted ones never mark.
+        assert_eq!(f.traffic(Vni(7)).ecn_marks, 0);
+        for s in senders {
+            assert_eq!(f.take_ecn_marks(s), 0);
+        }
+    }
+
+    #[test]
+    fn detach_with_messages_in_flight_keeps_tenant_counters_clean() {
+        // Regression: `detach` used to leave the recycled port's edge
+        // link busy horizons (and any pending ECN feedback) behind, so
+        // the next NIC attached to that port inherited a stale uplink.
+        let mut f = Fabric::with_topology(
+            CostModel { ecn_threshold_ns: 1_000, ..CostModel::default() },
+            TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 4 },
+            RoutingPolicy::Minimal,
+        );
+        let senders = [NicAddr(1), NicAddr(2), NicAddr(3)];
+        let sink = NicAddr(9);
+        for s in senders {
+            f.attach_to(s, SwitchId(0));
+            f.grant_vni(s, Vni(7)).unwrap();
+        }
+        f.attach_to(sink, SwitchId(1));
+        f.grant_vni(sink, Vni(7)).unwrap();
+        let bulk = 1u64 << 20;
+        for (i, s) in senders.iter().enumerate() {
+            f.transfer(SimTime::ZERO, *s, sink, Vni(7), TrafficClass::BulkData, bulk, i as u64);
+        }
+        let before = f.traffic(Vni(7));
+        assert!(before.ecn_marks > 0, "the rig accrued ECN debt");
+        // Detach the last sender while the trunk and the sink downlink
+        // are still busy far into the future with its message.
+        assert!(f.detach(senders[2]));
+        assert_eq!(f.traffic(Vni(7)), before, "detach must not touch per-VNI counters");
+        // The recycled port comes up clean: fresh NIC, same port, idle
+        // uplink — an LL probe sees exactly the unloaded path (its
+        // class queue on the trunk is empty; only BulkData is backed up).
+        let fresh = NicAddr(42);
+        f.attach_to(fresh, SwitchId(0));
+        assert_eq!(f.port_of(fresh), Some(PortId(2)), "port was recycled");
+        f.grant_vni(fresh, Vni(7)).unwrap();
+        let probe_dst = NicAddr(10);
+        f.attach_to(probe_dst, SwitchId(1));
+        f.grant_vni(probe_dst, Vni(7)).unwrap();
+        let TransferOutcome::Delivered { arrival, .. } = f.transfer(
+            SimTime::ZERO,
+            fresh,
+            probe_dst,
+            Vni(7),
+            TrafficClass::LowLatency,
+            64,
+            99,
+        ) else {
+            panic!("probe dropped")
+        };
+        assert_eq!(arrival.as_nanos(), f.unloaded_route_ns(fresh, probe_dst, 64).unwrap());
+        // And the detached NIC's pending ECN feedback died with it.
+        assert_eq!(f.take_ecn_marks(senders[2]), 0);
+        assert_eq!(f.take_ecn_marks(fresh), 0);
     }
 
     #[test]

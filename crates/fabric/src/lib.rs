@@ -27,6 +27,7 @@
 //! `shs_des::ParallelSim` — bit-identical results at any thread count.
 
 pub mod fabric;
+pub mod faults;
 pub mod packet;
 pub mod pktsim;
 pub mod shardsim;
@@ -37,9 +38,12 @@ pub mod types;
 pub use fabric::{
     Fabric, FabricAuditEvent, FabricError, TransferOutcome, TrunkClassCounters, VniTraffic,
 };
+pub use faults::{repair_route, FaultKind, LivenessMask, MAX_REPAIR_PATH};
 pub use pktsim::{simulate_contention, ClassStats, Flow};
 pub use packet::{segment, CostModel, Packet};
 pub use switch::{DropReason, Switch, SwitchConfig, SwitchCounters, Verdict, WrrArbiter};
-pub use shardsim::{run_sweep, trunk_lookahead, GroupCounters, GroupNet, SweepConfig, SweepStats};
+pub use shardsim::{
+    run_sweep, trunk_lookahead, GroupCounters, GroupNet, SweepConfig, SweepFault, SweepStats,
+};
 pub use topology::{GroupView, RoutingPolicy, Topology, TopologySpec};
 pub use types::{NicAddr, PortId, SwitchId, TrafficClass, Vni};

@@ -21,6 +21,18 @@ pub struct CostModel {
     /// (per-class queues are finite on real Rosetta hardware; edge links
     /// model the NIC's unbounded retry instead). Nanoseconds.
     pub trunk_queue_ns: u64,
+    /// ECN marking threshold: a message accepted onto a trunk after
+    /// queueing longer than this is marked, and the mark is fed back to
+    /// the sending NIC for pacing. The default equals `trunk_queue_ns`,
+    /// so no mark can ever fire (anything queued past the bound is
+    /// dropped instead) and legacy runs are bit-identical; congestion
+    /// scenarios lower it to get early backpressure. Nanoseconds.
+    pub ecn_threshold_ns: u64,
+    /// UGAL bias in favour of the minimal route, in queue-cost units
+    /// (ns × hops): under [`crate::RoutingPolicy::Adaptive`] a packet
+    /// detours only when `q_min·h_min > q_val·h_val + bias`. 0 is the
+    /// classic unbiased UGAL decision.
+    pub adaptive_bias_ns: u64,
 }
 
 impl Default for CostModel {
@@ -32,6 +44,8 @@ impl Default for CostModel {
             hop_latency_ns: 350,
             propagation_ns: 20,
             trunk_queue_ns: 100_000,
+            ecn_threshold_ns: 100_000,
+            adaptive_bias_ns: 0,
         }
     }
 }

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use shs_des::{ParallelSim, ShardSim, SimDur, SimTime};
 
 use crate::fabric::{LinkState, TrunkState};
+use crate::faults::{repair_route, FaultKind, LivenessMask, MAX_REPAIR_PATH};
 use crate::packet::CostModel;
 use crate::topology::{RoutingPolicy, Topology, TopologySpec};
 use crate::types::{SwitchId, TrafficClass};
@@ -50,7 +51,11 @@ pub fn trunk_lookahead(model: &CostModel) -> SimDur {
 }
 
 /// One message in flight (small and `Copy`: continuations carry it
-/// across shard boundaries by value).
+/// across shard boundaries by value). The route is chosen once at
+/// injection — where adaptive/fault-fallback selection runs against the
+/// source shard's live state — and travels with the message, so a
+/// boundary handoff never re-derives it (the destination shard would
+/// not know which candidate the source picked).
 #[derive(Debug, Clone, Copy)]
 struct Msg {
     src: u32,
@@ -59,6 +64,10 @@ struct Msg {
     len: u64,
     tc: TrafficClass,
     id: u64,
+    /// Switch ids of the chosen route, endpoints included.
+    path: [u16; MAX_REPAIR_PATH],
+    /// Number of valid entries in `path`.
+    path_len: u8,
 }
 
 /// Counters one shard owns outright (its group's slice of the sweep).
@@ -82,6 +91,10 @@ pub struct GroupCounters {
     pub class_delivered: [u64; 4],
     /// Congestion drops per class, [`TrafficClass::index`] order.
     pub class_drops: [u64; 4],
+    /// Messages dropped `NoRoute`: no live route existed at injection,
+    /// or a trunk on the chosen route died while the message was in
+    /// flight. Zero on a healthy fabric.
+    pub route_drops: u64,
 }
 
 /// The per-shard world: one group's slice of the fabric.
@@ -99,6 +112,11 @@ pub struct GroupNet {
     /// Dense `(from, to) → trunks` index over all switch pairs
     /// (`u32::MAX` where this group owns no such trunk).
     trunk_idx: Vec<u32>,
+    /// This shard's view of fabric liveness. Every shard schedules the
+    /// same globally-known fault schedule locally, so the copies never
+    /// diverge and no cross-shard fault notification (which would break
+    /// the lookahead) is needed.
+    mask: LivenessMask,
     /// The group's counters.
     pub counters: GroupCounters,
 }
@@ -120,6 +138,7 @@ impl GroupNet {
             edge: vec![LinkState::default(); view.switches.len() * nodes_per_switch],
             trunks: vec![TrunkState::default(); view.trunks_out.len()],
             trunk_idx,
+            mask: LivenessMask::default(),
             topo,
             counters: GroupCounters::default(),
         }
@@ -153,14 +172,94 @@ impl GroupNet {
             .traverse(tc, ser_ns, len, head_t, self.model.trunk_queue_ns)
             .map_err(|_| ())
     }
+
+    /// Live queue depth of an owned directed trunk (UGAL's signal).
+    fn queue_of(&self, a: SwitchId, b: SwitchId, tc: TrafficClass, now: SimTime) -> u64 {
+        let n = self.topo.switch_count();
+        let ti = self.trunk_idx[a.0 * n + b.0];
+        debug_assert!(ti != u32::MAX, "UGAL only inspects owned first hops");
+        self.trunks[ti as usize].queue_ns(tc, now)
+    }
+
+    /// Route selection at injection: the policy's primary route (for
+    /// [`RoutingPolicy::Adaptive`], the UGAL-L choice — both candidate
+    /// first hops are sourced at the local switch, so the signal is
+    /// shard-local) when fully live, else the same deterministic
+    /// fallback order as the serial engine: minimal, every Valiant salt
+    /// class, BFS repair. `None` means the pair is partitioned.
+    fn select_path(
+        &self,
+        src_sw: SwitchId,
+        dst_sw: SwitchId,
+        tc: TrafficClass,
+        salt: u64,
+        now: SimTime,
+        out: &mut [u16; MAX_REPAIR_PATH],
+    ) -> Option<u8> {
+        let fill = |out: &mut [u16; MAX_REPAIR_PATH], path: &[SwitchId]| -> u8 {
+            for (slot, s) in out.iter_mut().zip(path.iter()) {
+                *slot = s.0 as u16;
+            }
+            path.len() as u8
+        };
+        let primary: &[SwitchId] = match self.topo.policy() {
+            RoutingPolicy::Adaptive if src_sw != dst_sw => {
+                let min = self.topo.route_minimal(src_sw, dst_sw);
+                let val = self.topo.route_valiant(src_sw, dst_sw, salt);
+                let prefer_val = val.len() > min.len() && {
+                    let qm = self.queue_of(min[0], min[1], tc, now);
+                    let qv = self.queue_of(val[0], val[1], tc, now);
+                    qm * min.len() as u64 > qv * val.len() as u64 + self.model.adaptive_bias_ns
+                };
+                if prefer_val {
+                    val
+                } else {
+                    min
+                }
+            }
+            _ => self.topo.route(src_sw, dst_sw, salt),
+        };
+        if self.mask.route_live(primary) {
+            return Some(fill(out, primary));
+        }
+        let min = self.topo.route_minimal(src_sw, dst_sw);
+        if self.mask.route_live(min) {
+            return Some(fill(out, min));
+        }
+        if self.topo.groups() >= 3 {
+            let classes = self.topo.salt_classes() as u64;
+            for k in 0..classes {
+                let val = self.topo.route_valiant(src_sw, dst_sw, (salt + k) % classes);
+                if self.mask.route_live(val) {
+                    return Some(fill(out, val));
+                }
+            }
+        }
+        repair_route(&self.topo, &self.mask, src_sw, dst_sw).map(|p| fill(out, &p))
+    }
+
+    /// Apply one fault event to this shard's liveness view.
+    pub(crate) fn apply_fault(&mut self, kind: FaultKind) {
+        self.mask.apply(kind);
+    }
 }
 
-/// The launch event: uplink reservation in the source group, then the
-/// route walk (which may hand off at a group boundary).
-fn launch(s: &mut ShardSim<GroupNet>, m: Msg) {
+/// The launch event: route selection against the shard's live state,
+/// uplink reservation in the source group, then the route walk (which
+/// may hand off at a group boundary).
+fn launch(s: &mut ShardSim<GroupNet>, mut m: Msg) {
     let now = s.now();
     let w = &mut s.world;
     w.counters.sent += 1;
+    let src_sw = SwitchId(m.src as usize / w.nodes_per_switch);
+    let dst_sw = SwitchId(m.dst as usize / w.nodes_per_switch);
+    let mut path = [0u16; MAX_REPAIR_PATH];
+    let Some(path_len) = w.select_path(src_sw, dst_sw, m.tc, m.id, now, &mut path) else {
+        w.counters.route_drops += 1;
+        return;
+    };
+    m.path = path;
+    m.path_len = path_len;
     let ser = SimDur::from_nanos(w.model.serialize_ns(w.model.wire_bytes(m.len)));
     let step = trunk_lookahead(&w.model);
     let up = w.edge_mut(m.src);
@@ -171,15 +270,14 @@ fn launch(s: &mut ShardSim<GroupNet>, m: Msg) {
     walk_from(s, m, 0, head_t, tail_t);
 }
 
-/// Walk the route from hop index `pos` (an owned switch), reserving
-/// owned trunks; hand off to the next group's shard at a boundary, or
-/// deliver onto the destination downlink.
+/// Walk the message's carried route from hop index `pos` (an owned
+/// switch), reserving owned trunks; hand off to the next group's shard
+/// at a boundary, or deliver onto the destination downlink. A trunk
+/// that died after injection (the liveness check below) drops the
+/// message `NoRoute` at the hop that would have crossed it.
 fn walk_from(s: &mut ShardSim<GroupNet>, m: Msg, pos: usize, head_t: SimTime, tail_t: SimTime) {
     let topo = Arc::clone(&s.world.topo);
     let model = s.world.model;
-    let src_sw = SwitchId(m.src as usize / s.world.nodes_per_switch);
-    let dst_sw = SwitchId(m.dst as usize / s.world.nodes_per_switch);
-    let route = topo.route(src_sw, dst_sw, m.id);
     let ser_ns = model.serialize_ns(model.wire_bytes(m.len));
     let step = trunk_lookahead(&model);
     let prop = SimDur::from_nanos(model.propagation_ns);
@@ -187,8 +285,13 @@ fn walk_from(s: &mut ShardSim<GroupNet>, m: Msg, pos: usize, head_t: SimTime, ta
 
     let (mut head_t, mut tail_t) = (head_t, tail_t);
     let mut i = pos;
-    while i + 1 < route.len() {
-        let (a, b) = (route[i], route[i + 1]);
+    while i + 1 < m.path_len as usize {
+        let (a, b) = (SwitchId(m.path[i] as usize), SwitchId(m.path[i + 1] as usize));
+        if !s.world.mask.link_live(a, b) {
+            // The trunk died while the message was in flight.
+            s.world.counters.route_drops += 1;
+            return;
+        }
         match s.world.traverse(a, b, m.tc, ser_ns, m.len, head_t) {
             Err(()) => {
                 let c = &mut s.world.counters;
@@ -207,25 +310,19 @@ fn walk_from(s: &mut ShardSim<GroupNet>, m: Msg, pos: usize, head_t: SimTime, ta
             // The message cleared the boundary trunk this shard owns;
             // its head arrives at switch `b` (owned by group `gb`) at
             // `head_t`, at least one trunk step in the future — the
-            // conservative lookahead.
+            // conservative lookahead. The continuation resumes at hop
+            // index `i` of the carried route.
             let delay = head_t - s.now();
             s.send_to(gb, delay, move |d| {
-                let pos_b = d
-                    .world
-                    .topo
-                    .route(src_sw, dst_sw, m.id)
-                    .iter()
-                    .position(|&x| x == b)
-                    .expect("routes are loop-free and shared");
                 let head = d.now();
-                walk_from(d, m, pos_b, head, tail_t);
+                walk_from(d, m, i, head, tail_t);
             });
             return;
         }
     }
 
     // Destination switch reached (it is ours): downlink + delivery.
-    debug_assert_eq!(s.world.switch_of(m.dst), dst_sw);
+    debug_assert_eq!(s.world.switch_of(m.dst).0, m.path[m.path_len as usize - 1] as usize);
     let down = s.world.edge_mut(m.dst);
     let t1 = head_t.max(down.down_busy);
     down.down_busy = t1 + ser;
@@ -233,17 +330,29 @@ fn walk_from(s: &mut ShardSim<GroupNet>, m: Msg, pos: usize, head_t: SimTime, ta
     let c = &mut s.world.counters;
     c.delivered += 1;
     c.payload_bytes += m.len;
-    c.switch_hops += route.len() as u64;
+    c.switch_hops += m.path_len as u64;
     c.class_delivered[m.tc.index()] += 1;
     let lat = (arrival - m.t0).as_nanos();
     c.latency_sum_ns += lat;
     c.latency_max_ns = c.latency_max_ns.max(lat);
 }
 
+/// One scheduled fault in a sweep's globally-known fault schedule.
+/// `run_sweep` schedules it into **every** shard's local event queue
+/// (before any message of the same instant), so all liveness views
+/// flip identically and the conservative lookahead is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepFault {
+    /// Instant the fault takes effect (ns).
+    pub at_ns: u64,
+    /// What fails (or recovers).
+    pub kind: FaultKind,
+}
+
 /// A synthetic all-groups traffic sweep over a dragonfly topology —
 /// the workload the scenario library and bench harness size up to
 /// 1000+ nodes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Fabric shape.
     pub spec: TopologySpec,
@@ -265,6 +374,8 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Timing model.
     pub model: CostModel,
+    /// Fault schedule, applied identically in every shard.
+    pub faults: Vec<SweepFault>,
 }
 
 impl Default for SweepConfig {
@@ -279,6 +390,7 @@ impl Default for SweepConfig {
             cross_group_every: 2,
             seed: 1,
             model: CostModel::default(),
+            faults: Vec::new(),
         }
     }
 }
@@ -322,10 +434,11 @@ pub struct SweepStats {
 }
 
 impl SweepStats {
-    /// Message conservation: every launched message was delivered or
-    /// congestion-dropped.
+    /// Message conservation: every launched message was delivered,
+    /// congestion-dropped, or route-dropped by a failure.
     pub fn conserved(&self) -> bool {
-        self.totals.sent == self.totals.delivered + self.totals.congestion_drops
+        self.totals.sent
+            == self.totals.delivered + self.totals.congestion_drops + self.totals.route_drops
     }
 
     /// Mean delivered latency in ns (0 when nothing was delivered).
@@ -345,6 +458,19 @@ pub fn run_sweep(cfg: &SweepConfig, threads: usize) -> SweepStats {
         .map(|g| GroupNet::new(Arc::clone(&topo), cfg.model, g, cfg.nodes_per_switch))
         .collect();
     let mut psim = ParallelSim::new(worlds, lookahead);
+
+    // The fault schedule is globally known at setup: schedule it into
+    // every shard before any message, so at equal instants the fault
+    // event (lower sequence number) applies first and all shards'
+    // liveness views flip identically — no cross-shard notification,
+    // no lookahead impact.
+    for g in 0..topo.groups() {
+        for f in &cfg.faults {
+            let kind = f.kind;
+            psim.shard_mut(g)
+                .at(SimTime::from_nanos(f.at_ns), move |s| s.world.apply_fault(kind));
+        }
+    }
 
     let nodes_per_group = (cfg.spec.switches_per_group * cfg.nodes_per_switch) as u32;
     let total_nodes = nodes_per_group * cfg.spec.groups as u32;
@@ -382,6 +508,9 @@ pub fn run_sweep(cfg: &SweepConfig, threads: usize) -> SweepStats {
                 len: cfg.payload_bytes,
                 tc,
                 id: (node as u64) << 32 | k as u64,
+                // Filled in by `launch` against the shard's live state.
+                path: [0; MAX_REPAIR_PATH],
+                path_len: 0,
             };
             psim.shard_mut(g).at(t0, move |s| launch(s, m));
         }
@@ -399,6 +528,7 @@ pub fn run_sweep(cfg: &SweepConfig, threads: usize) -> SweepStats {
         totals.latency_sum_ns += c.latency_sum_ns;
         totals.latency_max_ns = totals.latency_max_ns.max(c.latency_max_ns);
         totals.switch_hops += c.switch_hops;
+        totals.route_drops += c.route_drops;
         for i in 0..4 {
             totals.class_delivered[i] += c.class_delivered[i];
             totals.class_drops[i] += c.class_drops[i];
@@ -464,6 +594,101 @@ mod tests {
         // minimal 4-switch bound would allow on average workloads.
         assert!(base.totals.switch_hops >= base.totals.delivered * 2);
         assert_eq!(run_sweep(&cfg, 3), base);
+    }
+
+    #[test]
+    fn adaptive_sweep_is_conserved_and_thread_invariant() {
+        let cfg = SweepConfig {
+            spec: TopologySpec { groups: 4, switches_per_group: 2, edge_ports: 4 },
+            policy: RoutingPolicy::Adaptive,
+            cross_group_every: 1,
+            interval_ns: 200,
+            ..SweepConfig::default()
+        };
+        let base = run_sweep(&cfg, 1);
+        assert!(base.conserved(), "{:?}", base.totals);
+        assert!(base.totals.delivered > 0);
+        assert!(base.min_inject_slack.unwrap() >= 0);
+        for threads in [2usize, 4] {
+            assert_eq!(run_sweep(&cfg, threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn trunk_cut_mid_sweep_conserves_and_stays_thread_invariant() {
+        // 3 groups × 1 switch: cut trunk (0, 1) mid-sweep. Adaptive
+        // fallback detours via group 2; messages already in flight on
+        // the dead trunk's route are route-dropped, and totals stay
+        // identical at any thread count.
+        let cfg = SweepConfig {
+            spec: TopologySpec { groups: 3, switches_per_group: 1, edge_ports: 8 },
+            policy: RoutingPolicy::Adaptive,
+            cross_group_every: 1,
+            messages_per_node: 16,
+            ..SweepConfig::default()
+        };
+        let half = 8 * cfg.interval_ns;
+        let cut = SweepFault {
+            at_ns: half,
+            kind: FaultKind::LinkDown(SwitchId(0), SwitchId(1)),
+        };
+        let cfg = SweepConfig { faults: vec![cut], ..cfg };
+        let base = run_sweep(&cfg, 1);
+        assert!(base.conserved(), "{:?}", base.totals);
+        assert!(base.totals.delivered > 0, "detours keep traffic flowing");
+        assert!(base.min_inject_slack.unwrap() >= 0);
+        for threads in [2usize, 3] {
+            assert_eq!(run_sweep(&cfg, threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn permanent_partition_route_drops_all_cross_traffic() {
+        // 2 groups × 1 switch, only trunk dead from t = 0: every
+        // cross-group message is a route drop, local ones deliver.
+        let cfg = SweepConfig {
+            spec: TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 8 },
+            nodes_per_switch: 4,
+            faults: vec![SweepFault {
+                at_ns: 0,
+                kind: FaultKind::LinkDown(SwitchId(0), SwitchId(1)),
+            }],
+            ..SweepConfig::default()
+        };
+        let stats = run_sweep(&cfg, 2);
+        assert!(stats.conserved(), "{:?}", stats.totals);
+        assert!(stats.totals.route_drops > 0);
+        assert_eq!(stats.totals.congestion_drops, 0);
+        // cross_group_every = 2: half of each node's messages detour
+        // nowhere — exactly they are dropped.
+        assert_eq!(
+            stats.totals.route_drops,
+            stats.totals.sent - stats.totals.delivered,
+        );
+        assert_eq!(run_sweep(&cfg, 1), stats);
+    }
+
+    #[test]
+    fn link_up_restores_service_mid_sweep() {
+        let cfg = SweepConfig {
+            spec: TopologySpec { groups: 2, switches_per_group: 1, edge_ports: 8 },
+            messages_per_node: 16,
+            faults: vec![
+                SweepFault { at_ns: 0, kind: FaultKind::LinkDown(SwitchId(0), SwitchId(1)) },
+                SweepFault {
+                    at_ns: 8 * 2_000,
+                    kind: FaultKind::LinkUp(SwitchId(0), SwitchId(1)),
+                },
+            ],
+            ..SweepConfig::default()
+        };
+        let stats = run_sweep(&cfg, 2);
+        assert!(stats.conserved());
+        assert!(stats.totals.route_drops > 0, "early cross traffic died");
+        // Cross-group deliveries resume after the LinkUp: some message
+        // must have crossed (2 hops) post-recovery.
+        assert!(stats.totals.switch_hops > stats.totals.delivered);
+        assert_eq!(run_sweep(&cfg, 1), stats);
     }
 
     #[test]

@@ -62,6 +62,13 @@ pub enum RoutingPolicy {
     /// group chosen from the route salt. Falls back to minimal when
     /// fewer than three groups exist.
     Valiant,
+    /// UGAL-style adaptive routing: per packet, the fabric compares the
+    /// minimal route against the salted Valiant detour by (live queue
+    /// depth × hop count) at injection and takes the cheaper one. The
+    /// topology interns both route families; the engines make the
+    /// per-packet choice. Falls back to minimal when fewer than three
+    /// groups exist (no detour is possible).
+    Adaptive,
 }
 
 /// The built topology: spec + the minimal-route next-hop table.
@@ -161,7 +168,7 @@ impl Topology {
             }
         }
         topo.minimal = minimal;
-        if policy == RoutingPolicy::Valiant && spec.groups >= 3 {
+        if policy != RoutingPolicy::Minimal && spec.groups >= 3 {
             // `salt % (groups - 2)` is the only way the salt enters route
             // selection, so `groups - 2` interned routes per (src, dst)
             // pair cover every possible salt.
@@ -190,8 +197,9 @@ impl Topology {
     }
 
     /// Distinct values `salt % (groups - 2)` can take, i.e. how many
-    /// Valiant routes exist per (src, dst) pair.
-    fn salt_classes(&self) -> usize {
+    /// Valiant routes exist per (src, dst) pair. The adaptive engines
+    /// iterate these classes when repairing a route around a failure.
+    pub fn salt_classes(&self) -> usize {
         self.spec.groups.saturating_sub(2).max(1)
     }
 
@@ -325,6 +333,11 @@ impl Topology {
         match self.policy {
             RoutingPolicy::Minimal => self.route_minimal(from, to),
             RoutingPolicy::Valiant => self.route_valiant(from, to, salt),
+            // Adaptive's per-packet choice needs live queue state the
+            // topology does not hold; the engines call `route_minimal` /
+            // `route_valiant` themselves. The policy-only route is the
+            // minimal base path (what a zero-load UGAL decision picks).
+            RoutingPolicy::Adaptive => self.route_minimal(from, to),
         }
     }
 
@@ -492,7 +505,9 @@ mod tests {
                         let mut walked = Vec::new();
                         let mut tail = Vec::new();
                         match policy {
-                            RoutingPolicy::Minimal => {
+                            // Adaptive's policy-only route is the minimal
+                            // base path (the zero-load UGAL decision).
+                            RoutingPolicy::Minimal | RoutingPolicy::Adaptive => {
                                 t.walk_minimal(SwitchId(s), SwitchId(d), &mut walked)
                             }
                             RoutingPolicy::Valiant => t.walk_valiant(

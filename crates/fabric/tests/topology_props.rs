@@ -1,15 +1,57 @@
 //! Property tests for the dragonfly topology: routing must be
 //! deterministic, loop-free, link-valid and hop-bounded for arbitrary
-//! (groups, switches/group, edge ports) within bounds, under both the
-//! minimal and the Valiant policy.
+//! (groups, switches/group, edge ports) within bounds, under the
+//! minimal, Valiant and adaptive (UGAL) policies — and, with a fault
+//! mask in play, the deterministic failure-fallback chain must keep
+//! every pair routable across any single link cut.
 
 use proptest::prelude::*;
-use shs_fabric::{RoutingPolicy, SwitchId, Topology, TopologySpec};
+use shs_fabric::{
+    repair_route, FaultKind, LivenessMask, RoutingPolicy, SwitchId, Topology, TopologySpec,
+    MAX_REPAIR_PATH,
+};
 
 fn spec_strategy() -> impl Strategy<Value = TopologySpec> {
     (1usize..6, 1usize..5, 1usize..8).prop_map(|(groups, switches_per_group, edge_ports)| {
         TopologySpec { groups, switches_per_group, edge_ports }
     })
+}
+
+/// Specs where a single link cut can never partition the fabric: ≥3
+/// groups give every group pair a detour through a third group, and the
+/// intra-group mesh keeps local pairs connected (for 2-switch groups,
+/// via their trunks and the group graph).
+fn resilient_spec_strategy() -> impl Strategy<Value = TopologySpec> {
+    (3usize..6, 1usize..4, 1usize..5).prop_map(|(groups, switches_per_group, edge_ports)| {
+        TopologySpec { groups, switches_per_group, edge_ports }
+    })
+}
+
+/// The engines' deterministic failure-fallback chain (`Fabric` and the
+/// sharded sweep both implement exactly this order): the minimal route
+/// if fully live, else the first live Valiant salt class starting from
+/// the message's own, else a BFS repair over the live graph.
+fn fallback_route(
+    topo: &Topology,
+    mask: &LivenessMask,
+    from: SwitchId,
+    to: SwitchId,
+    salt: u64,
+) -> Option<Vec<SwitchId>> {
+    let min = topo.route_minimal(from, to);
+    if mask.route_live(min) {
+        return Some(min.to_vec());
+    }
+    if topo.groups() >= 3 {
+        let classes = topo.salt_classes() as u64;
+        for k in 0..classes {
+            let val = topo.route_valiant(from, to, (salt + k) % classes);
+            if mask.route_live(val) {
+                return Some(val.to_vec());
+            }
+        }
+    }
+    repair_route(topo, mask, from, to)
 }
 
 fn check_route(topo: &Topology, path: &[SwitchId], from: SwitchId, to: SwitchId, max_len: usize) {
@@ -67,6 +109,72 @@ proptest! {
                 let path = topo.route(from, to, salt);
                 check_route(&topo, path, from, to, 6);
                 prop_assert_eq!(&path, &topo.route(from, to, salt));
+            }
+        }
+    }
+
+    /// Adaptive (UGAL) routing decides per packet between exactly two
+    /// candidates — the minimal route and the salted Valiant detour —
+    /// based on live queue depths at injection. Whatever the queue
+    /// state, the chosen route is therefore one of these two, so any
+    /// live-queue state yields a deterministic, loop-free route over
+    /// existing links of at most 6 switches; and the policy's static
+    /// primary table is the minimal one.
+    #[test]
+    fn adaptive_candidates_are_loop_free_for_any_queue_state(
+        spec in spec_strategy(),
+        salt in any::<u64>(),
+    ) {
+        let topo = Topology::new(spec, RoutingPolicy::Adaptive);
+        let n = topo.switch_count();
+        for s in 0..n {
+            for d in 0..n {
+                let (from, to) = (SwitchId(s), SwitchId(d));
+                check_route(&topo, topo.route_minimal(from, to), from, to, 4);
+                check_route(&topo, topo.route_valiant(from, to, salt), from, to, 6);
+                prop_assert_eq!(topo.route(from, to, salt), topo.route_minimal(from, to));
+            }
+        }
+    }
+
+    /// Any **single global-link** failure on a ≥3-group dragonfly
+    /// leaves every switch pair routable: the deterministic fallback
+    /// chain finds a live, loop-free route of ≤ `MAX_REPAIR_PATH`
+    /// switches that never crosses the dead link. (Only inter-group
+    /// links are cut: an intra-group link can be a bridge — e.g. to a
+    /// switch the `h % a` gateway assignment gives no trunk — so its
+    /// loss legitimately partitions, which the engines report as
+    /// `NoRoute` drops rather than hiding.)
+    #[test]
+    fn single_global_link_failure_leaves_all_pairs_routable(
+        spec in resilient_spec_strategy(),
+        salt in any::<u64>(),
+    ) {
+        let topo = Topology::new(spec, RoutingPolicy::Adaptive);
+        let n = topo.switch_count();
+        // Each undirected inter-group link once.
+        let cuts: std::collections::BTreeSet<(usize, usize)> = topo
+            .trunk_links()
+            .iter()
+            .filter(|&&(a, b)| topo.group_of(a) != topo.group_of(b))
+            .map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+            .collect();
+        for &(a, b) in &cuts {
+            let mut mask = LivenessMask::default();
+            mask.apply(FaultKind::LinkDown(SwitchId(a), SwitchId(b)));
+            for s in 0..n {
+                for d in 0..n {
+                    let (from, to) = (SwitchId(s), SwitchId(d));
+                    let path = fallback_route(&topo, &mask, from, to, salt)
+                        .unwrap_or_else(|| {
+                            panic!("cut ({a},{b}) partitioned {from}->{to}")
+                        });
+                    check_route(&topo, &path, from, to, MAX_REPAIR_PATH);
+                    prop_assert!(
+                        mask.route_live(&path),
+                        "cut ({},{}): route {:?} crosses the dead link", a, b, path
+                    );
+                }
             }
         }
     }

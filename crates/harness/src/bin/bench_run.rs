@@ -80,8 +80,8 @@ use shs_harness::{HostInfo, OsuAllreduceWorkload};
 use shs_vnistore::{SimDisk, Store, StoreConfig};
 use slingshot_k8s::{
     by_name, parallel_by_name, run_fabric_scenario, run_scenario, run_vni_stress,
-    AcquireReleaseWorkload, ChurnHotWorkload, FabricSweepReport, FabricTransferHotWorkload, VniDb,
-    VniStressReport, VniStressScenario,
+    AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload, FabricSweepReport,
+    FabricTransferHotWorkload, VniDb, VniStressReport, VniStressScenario,
 };
 
 /// The parallel scaling-curve subject: the 1024-node library sweep.
@@ -287,6 +287,17 @@ fn bench_fabric_transfer_hot(samples: usize, iters: u64) -> f64 {
     })
 }
 
+/// The same fabric hot path under UGAL adaptive routing — the per-step
+/// premium of the injection-time queue compare over the static
+/// `fabric_transfer_hot` baseline (see
+/// `slingshot_k8s::workloads::FabricAdaptiveHotWorkload`).
+fn bench_fabric_adaptive_hot(samples: usize, iters: u64) -> f64 {
+    let mut w = FabricAdaptiveHotWorkload::new();
+    measure(samples, iters, || {
+        w.step();
+    })
+}
+
 /// One 8-rank, 64 KiB ring allreduce across the 2-group dragonfly per
 /// op — the `osu_allreduce` collective hot path, shared with the
 /// Criterion `micro` target (see
@@ -485,6 +496,7 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
         "store_txn_commit" => (bench_store_commit(b.samples, b.store_iters), None),
         "store_txn_commit_grouped" => (bench_store_commit_grouped(b.samples, b.store_iters), None),
         "fabric_transfer_hot" => (bench_fabric_transfer_hot(b.samples, b.store_iters), None),
+        "fabric_adaptive_hot" => (bench_fabric_adaptive_hot(b.samples, b.store_iters), None),
         "osu_allreduce" => (bench_osu_allreduce(b.samples, b.churn_iters), None),
         "churn" | "steady-state" => {
             let (events, wall_s) = run_scenario_timed(name);
@@ -599,6 +611,8 @@ fn main() {
     eprintln!("bench-run: timing fabric_transfer_hot ...");
     let fabric_iters = store_iters;
     let fabric = bench_fabric_transfer_hot(samples, fabric_iters);
+    eprintln!("bench-run: timing fabric_adaptive_hot ...");
+    let fabric_adaptive = bench_fabric_adaptive_hot(samples, fabric_iters);
     eprintln!("bench-run: timing osu_allreduce ...");
     let allreduce_iters = churn_iters;
     let allreduce = bench_osu_allreduce(samples, allreduce_iters);
@@ -617,6 +631,7 @@ fn main() {
         recover_10k_entry,
         recover_100k_entry,
         bench_entry("fabric_transfer_hot", fabric, samples, fabric_iters),
+        bench_entry("fabric_adaptive_hot", fabric_adaptive, samples, fabric_iters),
         bench_entry("osu_allreduce", allreduce, samples, allreduce_iters),
     ];
 

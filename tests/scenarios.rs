@@ -59,7 +59,12 @@ fn parallel_scenarios_pass_and_seeds_reach_the_sweep() {
     for sweep in parallel_library(42) {
         let r = run_fabric_scenario(&sweep, 2);
         assert!(r.passed, "{}: {:?}", sweep.name, r);
-        assert_eq!(r.sent, r.delivered + r.congestion_drops, "{} conserves", sweep.name);
+        assert_eq!(
+            r.sent,
+            r.delivered + r.congestion_drops + r.route_drops.unwrap_or(0),
+            "{} conserves",
+            sweep.name
+        );
     }
     let sc = |seed| {
         let s = parallel_by_name("dragonfly-256-valiant", seed).expect("library sweep");
@@ -205,4 +210,88 @@ fn scenarios_exercise_their_designed_pressure() {
     assert_eq!(skew.dropped, skew.fabric_congestion_drops);
     assert_eq!(pack.fabric_congestion_drops, 0);
     assert_eq!(pack.sends, pack.delivered, "packed placement loses nothing");
+
+    // Fault resilience: the trunk cut at 5 s lands mid-collective, so
+    // the second half of the allreduce must complete over the 3-switch
+    // detour through the spare group — visible as the per-tenant
+    // reroute count and hop totals above the 2-hops/message minimum —
+    // without losing a single message.
+    let tca = &by["trunk-cut-allreduce"];
+    let coll = jt(tca, "hpc/ring");
+    assert_eq!(coll.sends, coll.delivered, "the collective survives the cut");
+    assert!(
+        coll.fabric_reroutes.unwrap_or(0) > 0,
+        "the cut must force deterministic reroutes"
+    );
+    assert!(
+        coll.fabric_switch_hops > 2 * coll.delivered,
+        "detoured messages pay 3 switches: {} hops over {} messages",
+        coll.fabric_switch_hops,
+        coll.delivered
+    );
+    assert_eq!(coll.fabric_congestion_drops, 0);
+
+    // Link flaps: two down/up cycles on the incast trunk. Bulk keeps
+    // flowing via the detour during the outages (reroutes accrue) and
+    // the low-latency probe sharing the trunk sees zero loss and stays
+    // within 2x the ~1.1 µs unloaded 3-switch detour latency.
+    let flap = &by["flapping-link-incast"];
+    let probe = class(flap, "low-latency");
+    let fanin = class(flap, "bulk-data");
+    assert_eq!(probe.dropped, 0, "probe loses nothing through the flaps");
+    assert_eq!(probe.congestion_drops, 0);
+    assert!(
+        probe.max_latency_ns < 2_000,
+        "probe latency bound broken: {} ns",
+        probe.max_latency_ns
+    );
+    assert!(
+        flap.traffic.fabric_reroutes.unwrap_or(0) > 0,
+        "the outages must actually force reroutes"
+    );
+    assert!(fanin.delivered > 0, "bulk kept flowing through the flaps");
+}
+
+#[test]
+fn adaptive_routing_lowers_trunk_pressure_vs_minimal_under_incast() {
+    // The adaptive-vs-static A/B: the same 3→1 incast once under UGAL
+    // (the library scenario) and once with the routing flipped back to
+    // minimal. UGAL's spillover through the spare group must strictly
+    // lower the worst bulk-class trunk queue depth, and the
+    // low-latency class takes zero drops on both sides.
+    let adaptive = slingshot_k8s::by_name("adaptive-incast", 42).expect("library scenario");
+    let mut minimal = adaptive.clone();
+    minimal.config.routing = shs_fabric::RoutingPolicy::Minimal;
+
+    let a = run_scenario(&adaptive);
+    let m = run_scenario(&minimal);
+    let class = |r: &slingshot_k8s::ScenarioReport, name: &str| {
+        r.traffic
+            .by_class
+            .iter()
+            .find(|c| c.class == name)
+            .unwrap_or_else(|| panic!("{}: class {name} missing", r.scenario))
+            .clone()
+    };
+
+    let a_bulk = class(&a, "bulk-data");
+    let m_bulk = class(&m, "bulk-data");
+    assert!(
+        a_bulk.trunk_queued_ns_max < m_bulk.trunk_queued_ns_max,
+        "UGAL must lower the worst trunk queue depth: adaptive {} ns vs minimal {} ns",
+        a_bulk.trunk_queued_ns_max,
+        m_bulk.trunk_queued_ns_max
+    );
+    assert!(
+        a_bulk.delivered >= m_bulk.delivered,
+        "spillover must not cost bulk goodput: adaptive {} vs minimal {}",
+        a_bulk.delivered,
+        m_bulk.delivered
+    );
+    for (side, r) in [("adaptive", &a), ("minimal", &m)] {
+        let ll = class(r, "low-latency");
+        assert_eq!(ll.dropped, 0, "{side}: low-latency class must take zero drops");
+        assert_eq!(ll.congestion_drops, 0, "{side}");
+        assert!(r.passed, "{side}: {:?}", r.isolation);
+    }
 }
