@@ -15,6 +15,7 @@ use shs_harness::OsuAllreduceWorkload;
 use shs_vnistore::{Store, StoreConfig};
 use slingshot_k8s::{
     AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload, FabricTransferHotWorkload,
+    PlegStatusReadWorkload, ServiceMeshHotWorkload,
 };
 
 fn bench_ep_alloc_auth(c: &mut Criterion) {
@@ -148,6 +149,35 @@ fn bench_osu_allreduce(c: &mut Criterion) {
     });
 }
 
+fn bench_service_mesh_hot(c: &mut Criterion) {
+    // The serving-plane data path (shared with `bench-run`): one
+    // TSoR-style request/response round trip per iteration between 8
+    // replica NICs on the 3-group dragonfly, the response leg departing
+    // at the request's arrival instant.
+    c.bench_function("service_mesh_hot", |b| {
+        let mut w = ServiceMeshHotWorkload::new();
+        b.iter(|| black_box(w.step()))
+    });
+}
+
+fn bench_pleg_status_read(c: &mut Criterion) {
+    // The PLEG status-read pair (shared with `bench-run`): the cached
+    // read must stay flat from 100 to 10,000 pods while the full-scan
+    // contrast row grows with the pod count.
+    let mut group = c.benchmark_group("pleg_status_read");
+    for pods in [100u64, 10_000] {
+        let mut cached = PlegStatusReadWorkload::new(pods);
+        group.bench_function(format!("cached_{pods}"), |b| {
+            b.iter(|| black_box(cached.cached_read()))
+        });
+        let mut scan = PlegStatusReadWorkload::new(pods);
+        group.bench_function(format!("scan_{pods}"), |b| {
+            b.iter(|| black_box(scan.scan_read()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_nic_send(c: &mut Criterion) {
     c.bench_function("nic_send_small", |b| {
         let mut fabric = Fabric::new(4);
@@ -211,7 +241,8 @@ criterion_group! {
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
     targets = bench_ep_alloc_auth, bench_vni_db_txn, bench_vni_db_churn_hot,
               bench_store_commit, bench_fabric_transfer, bench_fabric_transfer_hot,
-              bench_fabric_adaptive_hot, bench_osu_allreduce, bench_nic_send,
-              bench_netns_lookup, bench_switch_forward_denied
+              bench_fabric_adaptive_hot, bench_osu_allreduce, bench_service_mesh_hot,
+              bench_pleg_status_read, bench_nic_send, bench_netns_lookup,
+              bench_switch_forward_denied
 }
 criterion_main!(micro);

@@ -1,0 +1,16 @@
+//! One-shot fixture generator: writes every library scenario's report
+//! as pretty JSON under crates/core/tests/fixtures/.
+
+use slingshot_k8s::{library, run_scenario};
+
+fn main() {
+    let dir = std::path::Path::new("crates/core/tests/fixtures");
+    std::fs::create_dir_all(dir).unwrap();
+    for scenario in library(42) {
+        let name = scenario.name.clone();
+        let report = run_scenario(&scenario);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        std::fs::write(dir.join(format!("{name}.json")), json + "\n").unwrap();
+        eprintln!("wrote {name}");
+    }
+}

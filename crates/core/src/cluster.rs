@@ -18,9 +18,9 @@ use shs_cxi::{CxiDevice, CxiDriver, CxiServiceDesc};
 use shs_des::{DetRng, SimDur, SimTime};
 use shs_fabric::{CostModel, Fabric, NicAddr, RoutingPolicy, SwitchId, TopologySpec, Vni};
 use shs_k8s::{
-    kinds, make_node, spec_of, status_of, ApiObject, ApiServer, CniAddOutcome, DecoratorConfig,
-    JobController, JobSpec, Kubelet, KubeletParams, Metacontroller, NodeBackend, PodPhase,
-    PodSpec, PodStatus, PodTemplate, Scheduler, VNI_ANNOTATION,
+    kinds, make_node, spec_of, ApiObject, ApiServer, CniAddOutcome, DecoratorConfig,
+    JobController, JobSpec, Kubelet, KubeletParams, Metacontroller, NodeBackend, Pleg, PodPhase,
+    PodSpec, PodTemplate, Scheduler, ServiceController, ServiceSpec, VNI_ANNOTATION,
 };
 use shs_oslinux::{Creds, Host, NetNsId, Pid};
 
@@ -283,10 +283,21 @@ pub struct Cluster {
     pub scheduler: Scheduler,
     /// Job controller.
     pub job_controller: JobController,
+    /// Service controller (serving plane: replica sets + rolling
+    /// updates).
+    pub service_controller: ServiceController,
     /// VNI decorator controller over Jobs.
     pub vni_jobs: Metacontroller<EndpointHandle>,
+    /// VNI decorator controller over Services (same webhook hooks as
+    /// jobs: an annotated service owns a `vni-<name>` CRD its pods
+    /// resolve through `spec.job_name`).
+    pub vni_services: Metacontroller<EndpointHandle>,
     /// VNI decorator controller over VniClaims.
     pub vni_claims: Metacontroller<EndpointHandle>,
+    /// PLEG-style pod-lifecycle cache: status reads (`pods_in_phase`,
+    /// `job_started_at`, service readiness) come from here instead of
+    /// scanning pods.
+    pub pleg: Pleg,
     /// Shared VNI endpoint (+ database).
     pub endpoint: Rc<RefCell<VniEndpoint>>,
     /// Configuration.
@@ -377,6 +388,22 @@ impl Cluster {
             },
             EndpointHandle { endpoint: Rc::clone(&endpoint), role: EndpointRole::Jobs },
         );
+        let vni_services = Metacontroller::new(
+            DecoratorConfig {
+                name: "vni-services".into(),
+                parent_kind: kinds::SERVICE.into(),
+                annotation_filter: Some(VNI_ANNOTATION.into()),
+                child_kind: kinds::VNI.into(),
+                webhook_latency: config.webhook_latency,
+                resync_period: config.vni_resync,
+            },
+            // Same hooks as jobs: the child CRD is named after the
+            // parent, and service pods carry the service name in
+            // `spec.job_name`, so the CXI CNI lookup is identical.
+            // (A service must therefore not share a name with an
+            // annotated job in the same namespace.)
+            EndpointHandle { endpoint: Rc::clone(&endpoint), role: EndpointRole::Jobs },
+        );
         let vni_claims = Metacontroller::new(
             DecoratorConfig {
                 name: "vni-claims".into(),
@@ -398,24 +425,32 @@ impl Cluster {
             nodes,
             scheduler: Scheduler::new(),
             job_controller: JobController::new(),
+            service_controller: ServiceController::new(),
             vni_jobs,
+            vni_services,
             vni_claims,
+            pleg: Pleg::new(),
             endpoint,
             config,
             rng,
         }
     }
 
-    /// One control-plane tick: controllers reconcile, kubelets advance.
+    /// One control-plane tick: controllers reconcile, kubelets advance,
+    /// and the PLEG cache ingests the tick's watch events so status
+    /// reads between ticks are served from the cache.
     pub fn tick(&mut self, now: SimTime) {
         self.job_controller.poll(&mut self.api, now);
+        self.service_controller.poll(&mut self.api, now);
         self.vni_claims.poll(&mut self.api, now);
         self.vni_jobs.poll(&mut self.api, now);
+        self.vni_services.poll(&mut self.api, now);
         self.scheduler.poll(&mut self.api, now);
         for node in &mut self.nodes {
             let mut backend = Backend { inner: &mut node.inner, fabric: &mut self.fabric };
             node.kubelet.poll(&mut self.api, &mut backend, now);
         }
+        self.pleg.sync(&self.api);
     }
 
     /// Drive ticks from `from` (exclusive) to `to` (inclusive) on a fixed
@@ -481,6 +516,68 @@ impl Cluster {
         self.api.create(job, now).expect("job name unique");
     }
 
+    /// Submit a long-running service: `replicas` pods that run until
+    /// deleted. `annotations` may carry the `vni` key; `pin_nodes`
+    /// restricts placement like [`Cluster::submit_job_placed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_service(
+        &mut self,
+        now: SimTime,
+        namespace: &str,
+        name: &str,
+        annotations: &[(&str, &str)],
+        replicas: u32,
+        image: &Image,
+        pin_nodes: Option<&[usize]>,
+    ) {
+        let node_selector = pin_nodes.map(|idxs| {
+            idxs.iter().map(|&i| self.nodes[i].inner.name.clone()).collect::<Vec<_>>()
+        });
+        let spec = ServiceSpec {
+            replicas,
+            template: PodTemplate {
+                image: image.reference.clone(),
+                run_ms: None,
+                userns_base: None,
+                node_selector,
+            },
+            max_unavailable: 1,
+            max_surge: 1,
+            version: 0,
+        };
+        let mut svc = shs_k8s::make_service(namespace, name, &spec);
+        for (k, v) in annotations {
+            svc.meta.annotations.insert((*k).into(), (*v).into());
+        }
+        self.api.create(svc, now).expect("service name unique");
+    }
+
+    /// Change a service's replica count (the autoscaler's lever).
+    pub fn scale_service(&mut self, namespace: &str, name: &str, replicas: u32) {
+        let _ = self.api.mutate(kinds::SERVICE, namespace, name, |o| {
+            o.spec["replicas"] = serde_json::json!(replicas);
+        });
+    }
+
+    /// Bump a service's template revision, starting a rolling update.
+    pub fn roll_service(&mut self, namespace: &str, name: &str) {
+        let _ = self.api.mutate(kinds::SERVICE, namespace, name, |o| {
+            let v = o.spec["version"].as_u64().unwrap_or(0);
+            o.spec["version"] = serde_json::json!(v + 1);
+        });
+    }
+
+    /// Request deletion of a service (pods cascade).
+    pub fn delete_service(&mut self, namespace: &str, name: &str) {
+        let _ = self.api.delete(kinds::SERVICE, namespace, name);
+    }
+
+    /// Ready pod names of a service (Running, not terminating) — a PLEG
+    /// cache read, no pod scan.
+    pub fn service_ready(&self, namespace: &str, name: &str) -> Vec<String> {
+        self.pleg.ready(namespace, name)
+    }
+
     /// Create a VNI Claim (Listing 2 of the paper).
     pub fn create_claim(&mut self, now: SimTime, namespace: &str, name: &str) {
         let claim = ApiObject::new(
@@ -507,27 +604,17 @@ impl Cluster {
         self.api.get(kinds::JOB, namespace, name).is_some()
     }
 
-    /// When the first pod of a job started, if it has.
+    /// When the first pod of a job started, if it has. A PLEG group
+    /// read: proportional to the job's pod count, never the cluster's.
     pub fn job_started_at(&self, namespace: &str, name: &str) -> Option<SimTime> {
-        self.api
-            .list_namespaced(kinds::POD, namespace)
-            .into_iter()
-            .filter(|p| {
-                let s: PodSpec = spec_of(p);
-                s.job_name.as_deref() == Some(name)
-            })
-            .filter_map(|p| status_of::<PodStatus>(p).and_then(|s| s.started_at_ns))
-            .min()
-            .map(SimTime::from_nanos)
+        self.pleg.group_started_at(namespace, name).map(SimTime::from_nanos)
     }
 
-    /// Pods currently in a given phase.
+    /// Pods currently in a given phase — an O(1) PLEG cache read,
+    /// independent of cluster pod count (the pre-PLEG scan is kept as
+    /// [`Pleg::scan`] for the equivalence oracle and benchmark).
     pub fn pods_in_phase(&self, phase: PodPhase) -> usize {
-        self.api
-            .list(kinds::POD)
-            .iter()
-            .filter(|p| shs_k8s::pod_phase(p) == phase)
-            .count()
+        self.pleg.count(phase) as usize
     }
 
     /// A pod's runtime handle: owning node index, workload pid, netns.
@@ -756,6 +843,55 @@ mod tests {
         ];
         got.sort_unstable();
         assert_eq!(got, vec![5, 6]);
+    }
+
+    #[test]
+    fn vni_service_runs_rolls_and_unwinds() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_service(
+            SimTime::ZERO,
+            "t",
+            "web",
+            &[(VNI_ANNOTATION, "true")],
+            2,
+            &alpine(),
+            None,
+        );
+        run_cluster(&mut c, 0, 4_000);
+        // The service owns a VNI CRD and both replicas are ready.
+        let crd = c.api.get(kinds::VNI, "t", "vni-web").expect("VNI CRD for the service");
+        let vni = crd.spec["vni"].as_u64().unwrap() as u16;
+        assert_eq!(c.service_ready("t", "web"), vec!["web-v0-0", "web-v0-1"]);
+        assert_eq!(c.pods_in_phase(PodPhase::Running), 2);
+        // Rolling update: replicas converge on the new revision without
+        // the ready count ever reaching zero (floor = replicas - 1).
+        c.roll_service("t", "web");
+        run_cluster(&mut c, 4_000, 14_000);
+        assert_eq!(c.service_ready("t", "web"), vec!["web-v1-0", "web-v1-1"]);
+        // Scale up, then delete: everything unwinds.
+        c.scale_service("t", "web", 3);
+        run_cluster(&mut c, 14_000, 18_000);
+        assert_eq!(c.service_ready("t", "web").len(), 3);
+        c.delete_service("t", "web");
+        run_cluster(&mut c, 18_000, 26_000);
+        assert!(c.api.get(kinds::SERVICE, "t", "web").is_none());
+        assert!(c.service_ready("t", "web").is_empty());
+        assert_eq!(c.endpoint.borrow().db.allocated_count(), 0, "VNI released");
+        assert!(c.fabric.nic_has_vni(c.nodes[0].inner.nic, Vni::GLOBAL));
+        assert!(!c.fabric.nic_has_vni(c.nodes[0].inner.nic, Vni(vni)), "grant revoked");
+    }
+
+    #[test]
+    fn pleg_cache_matches_a_full_scan_mid_flight() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.submit_service(SimTime::ZERO, "t", "web", &[], 3, &alpine(), None);
+        c.submit_job(SimTime::ZERO, "t", "batch", &[], 2, &alpine(), Some(1_500));
+        for ms in [500u64, 1_000, 2_000, 3_000, 5_000] {
+            run_cluster(&mut c, ms.saturating_sub(500), ms);
+            let cached = serde_json::to_string(&c.pleg.snapshot()).unwrap();
+            let scanned = serde_json::to_string(&Pleg::scan(&c.api)).unwrap();
+            assert_eq!(cached, scanned, "at {ms}ms");
+        }
     }
 
     #[test]

@@ -53,8 +53,9 @@ pub use parsim::{
 };
 pub use scenario::{
     by_name, library, ring_allreduce_schedule, run_scenario, run_vni_stress, stress_by_name,
-    stress_library, ClaimPlan, ClassTraffic, Fault, JobPlan, JobTraffic, Scenario,
-    ScenarioReport, TrafficPattern, TrafficPlan, VniMode, VniStressReport, VniStressScenario,
+    stress_library, AutoscalePlan, BurstPlan, ClaimPlan, ClassTraffic, Fault, JobPlan,
+    JobTraffic, Scenario, ScenarioReport, ServicePlan, ServiceReport, TrafficPattern,
+    TrafficPlan, VniMode, VniStressReport, VniStressScenario,
 };
 pub use sharded_db::ShardedVniDb;
 pub use vni_db::{
@@ -63,5 +64,6 @@ pub use vni_db::{
 };
 pub use workloads::{
     AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload,
-    FabricTransferHotWorkload, VniStressWorkload,
+    FabricTransferHotWorkload, PlegStatusReadWorkload, ServiceMeshHotWorkload,
+    VniStressWorkload,
 };

@@ -70,6 +70,14 @@ pub enum TrafficPattern {
     /// through fabric routing, trunk WRR and per-VNI accounting.
     /// `burst` scales the chunk count per step.
     Allreduce,
+    /// TCP-over-RDMA request/response (modeled on TSoR): every rank
+    /// sends a request of `size` bytes to its ring successor, which
+    /// answers with a `size`-byte response dispatched at the request's
+    /// *arrival* instant — so the pair's virtual-time latency composes
+    /// like a real RPC. Long-running [`ServicePlan`]s use the same
+    /// two-leg model with independent request/response sizes, per-
+    /// request latency samples, and a p99 SLO.
+    RequestResponse,
 }
 
 /// Rank-to-rank traffic a job generates once its pods run.
@@ -129,6 +137,74 @@ pub struct ClaimPlan {
     pub delete_at: Option<SimTime>,
 }
 
+/// A demand spike window for a [`ServicePlan`]'s request generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstPlan {
+    /// Start of the spike (inclusive).
+    pub from: SimTime,
+    /// End of the spike (exclusive).
+    pub until: SimTime,
+    /// Extra requests added to every generator fire inside the window.
+    pub extra: u32,
+}
+
+/// Deterministic demand-driven horizontal autoscaling for a
+/// [`ServicePlan`]: at every generator fire the desired replica count
+/// is `clamp(ceil(demand / per_replica), replicas, max_replicas)`, and
+/// the service is rescaled through the API server whenever it changes.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalePlan {
+    /// Requests one replica absorbs per generator fire.
+    pub per_replica: u32,
+    /// Replica-count ceiling.
+    pub max_replicas: u32,
+}
+
+/// One long-running serving-plane [`Service`](shs_k8s::service) in a
+/// scenario: a replica set kept converged by the deterministic service
+/// controller, carrying open-loop TSoR-style request/response traffic
+/// between its replicas through the same fabric (WRR classes, adaptive
+/// routing, fault model) and the same per-hop isolation checks as the
+/// MPI jobs.
+#[derive(Debug, Clone)]
+pub struct ServicePlan {
+    /// Tenant namespace.
+    pub tenant: String,
+    /// Service name (must not collide with an annotated job's name in
+    /// the namespace — both own the VNI CRD `vni-<name>`).
+    pub name: String,
+    /// Baseline replica count (also the autoscale floor).
+    pub replicas: u32,
+    /// Creation instant.
+    pub arrival: SimTime,
+    /// VNI attachment model.
+    pub vni: VniMode,
+    /// Traffic class of the service's requests and responses.
+    pub tc: TrafficClass,
+    /// Open-loop request-generator cadence (fires regardless of
+    /// completion, like TSoR clients).
+    pub request_interval: SimDur,
+    /// Requests issued per generator fire (before any burst).
+    pub requests_per_fire: u32,
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Response payload bytes.
+    pub response_bytes: u64,
+    /// p99 latency SLO over full request+response round trips.
+    pub slo_p99: SimDur,
+    /// Rolling-update instant (bumps the template revision), if any.
+    pub update_at: Option<SimTime>,
+    /// Deletion instant, if any.
+    pub delete_at: Option<SimTime>,
+    /// Demand spike window, if any.
+    pub burst: Option<BurstPlan>,
+    /// Demand-driven autoscaling, if any.
+    pub autoscale: Option<AutoscalePlan>,
+    /// Restrict replicas to these node indices (`None` leaves placement
+    /// to the spread-first scheduler).
+    pub pin_nodes: Option<Vec<usize>>,
+}
+
 /// Fault injections.
 #[derive(Debug, Clone)]
 pub enum Fault {
@@ -183,6 +259,8 @@ pub struct Scenario {
     pub claims: Vec<ClaimPlan>,
     /// Jobs to submit.
     pub jobs: Vec<JobPlan>,
+    /// Long-running services to run.
+    pub services: Vec<ServicePlan>,
     /// Fault injections.
     pub faults: Vec<Fault>,
     /// Simulated end of the scenario.
@@ -374,6 +452,59 @@ pub struct KubeletReport {
     pub pods_failed: u64,
 }
 
+/// Per-service serving-plane metrics: open-loop request/response
+/// traffic outcomes, the p99-vs-SLO verdict, and the rolling-update
+/// availability floor observed over the run. Emitted only for
+/// scenarios that plan services, so job-only reports are byte-identical
+/// to earlier versions.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// `tenant/name`.
+    pub service: String,
+    /// Baseline replica count from the plan.
+    pub replicas: u64,
+    /// The VNI the service's replicas authenticated with (absent if no
+    /// request was ever issued).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub vni: Option<u16>,
+    /// Request-generator fires that issued traffic.
+    pub fires: u64,
+    /// Generator fires skipped because fewer than two replicas were
+    /// ready (startup ramp, or a roll that lost the fleet).
+    pub skipped_fires: u64,
+    /// Requests issued (each is a request leg + a response leg).
+    pub requests: u64,
+    /// Round trips completed (both legs delivered).
+    pub completed: u64,
+    /// Round trips lost to a fabric drop on either leg.
+    pub dropped: u64,
+    /// Replicas that failed to authenticate against the service VNI.
+    pub auth_failures: u64,
+    /// Delivered payload bytes (both legs).
+    pub payload_bytes: u64,
+    /// Median round-trip latency (ns).
+    pub p50_latency_ns: u64,
+    /// 99th-percentile round-trip latency (ns).
+    pub p99_latency_ns: u64,
+    /// Worst round-trip latency (ns).
+    pub max_latency_ns: u64,
+    /// The plan's p99 SLO (ns).
+    pub slo_p99_ns: u64,
+    /// p99 met the SLO (and at least one round trip completed).
+    pub slo_met: bool,
+    /// Fewest ready replicas observed at any control-plane tick after
+    /// the service first reached full readiness (and before deletion).
+    pub min_ready: u64,
+    /// Most ready replicas observed (the autoscale high-water mark).
+    pub max_ready: u64,
+    /// The rolling-update availability floor,
+    /// `replicas − maxUnavailable`.
+    pub ready_floor: u64,
+    /// Ready replicas never dropped below the floor once full readiness
+    /// was reached.
+    pub floor_held: bool,
+}
+
 /// Isolation assertions — every field except the `*_attempts`/`denied`
 /// counters must be zero for the scenario to pass.
 #[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
@@ -417,6 +548,11 @@ pub struct ScenarioReport {
     pub vni: VniReport,
     /// Kubelet metrics.
     pub kubelet: KubeletReport,
+    /// Serving-plane metrics, one per planned service; empty (and
+    /// omitted from the JSON) for job-only scenarios, so their reports
+    /// are byte-identical to earlier versions.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub services: Vec<ServiceReport>,
     /// Isolation assertions.
     pub isolation: IsolationReport,
     /// Whether every isolation assertion (and traffic liveness, where
@@ -427,11 +563,15 @@ pub struct ScenarioReport {
 impl ScenarioReport {
     fn evaluate(&mut self, traffic_expected: bool) {
         let iso = &self.isolation;
+        let services_ok = self.services.iter().all(|s| {
+            s.auth_failures == 0 && s.completed > 0 && s.slo_met && s.floor_held
+        });
         self.passed = iso.cross_vni_deliveries == 0
             && iso.quarantine_violations == 0
             && iso.leaked_services == 0
             && iso.stale_grants == 0
             && iso.placement_violations == 0
+            && services_ok
             && (!traffic_expected || (self.traffic.delivered > 0 && self.traffic.auth_failures == 0));
     }
 }
@@ -444,6 +584,28 @@ struct JobTrack {
     /// first traffic round (the CRD is reaped at teardown, so the
     /// end-state audit could no longer resolve it).
     vni_seen: Option<Vni>,
+}
+
+struct ServiceTrack {
+    plan: ServicePlan,
+    vni_seen: Option<Vni>,
+    /// Round-trip latency samples (ns), sorted once at report time.
+    latencies: Vec<u64>,
+    fires: u64,
+    skipped_fires: u64,
+    requests: u64,
+    completed: u64,
+    dropped: u64,
+    auth_failures: u64,
+    payload_bytes: u64,
+    /// Round-robin cursor over the ready replica list.
+    rr: usize,
+    /// Last desired replica count pushed by the autoscaler.
+    desired: u32,
+    /// The service reached `replicas` ready pods at least once.
+    full_ready_seen: bool,
+    min_ready: u64,
+    max_ready: u64,
 }
 
 /// Per-class (and per-job) slice of the raw counters.
@@ -481,6 +643,7 @@ struct World {
     horizon: SimTime,
     tick: SimDur,
     jobs: Vec<JobTrack>,
+    services: Vec<ServiceTrack>,
     m: Raw,
     msg_id: u64,
     /// (node index, drain instant)
@@ -497,11 +660,20 @@ fn annotations(mode: &VniMode) -> Vec<(String, String)> {
 
 /// The VNI a job's pods would authenticate with, if decorated yet.
 fn resolve_vni(cluster: &Cluster, plan: &JobPlan) -> Option<Vni> {
-    match plan.vni {
+    resolve_named_vni(cluster, &plan.vni, &plan.tenant, &plan.name)
+}
+
+/// The VNI a service's replicas would authenticate with, if decorated.
+fn resolve_service_vni(cluster: &Cluster, plan: &ServicePlan) -> Option<Vni> {
+    resolve_named_vni(cluster, &plan.vni, &plan.tenant, &plan.name)
+}
+
+fn resolve_named_vni(cluster: &Cluster, mode: &VniMode, tenant: &str, name: &str) -> Option<Vni> {
+    match mode {
         VniMode::Global => Some(Vni::GLOBAL),
         _ => {
-            let child = crate::endpoint::VniEndpoint::child_name_for_job(&plan.name);
-            let crd = cluster.api.get(kinds::VNI, &plan.tenant, &child)?;
+            let child = crate::endpoint::VniEndpoint::child_name_for_job(name);
+            let crd = cluster.api.get(kinds::VNI, tenant, &child)?;
             crd.spec["vni"].as_u64().map(|v| Vni(v as u16))
         }
     }
@@ -524,12 +696,32 @@ fn tick_ev(sim: &mut Sim<World>) {
             w.jobs[ji].started_at = Some(at);
         }
     }
+    // Availability-floor tracking: sample the PLEG-cached ready count of
+    // every live service at every tick, so a rolling update dipping
+    // below `replicas − maxUnavailable` between request fires is caught.
+    for t in &mut w.services {
+        if now < t.plan.arrival || t.plan.delete_at.is_some_and(|d| now >= d) {
+            continue;
+        }
+        let ready = w.cluster.pleg.ready_count(&t.plan.tenant, &t.plan.name) as u64;
+        t.max_ready = t.max_ready.max(ready);
+        if ready >= u64::from(t.plan.replicas) {
+            t.full_ready_seen = true;
+        }
+        if t.full_ready_seen {
+            t.min_ready = t.min_ready.min(ready);
+        }
+    }
     let (tick, horizon) = (w.tick, w.horizon);
     if now < horizon {
         sim.after(tick, tick_ev);
     }
 }
 
+/// Authenticate `src` against `vni` and push one message through the
+/// fabric, folding the outcome into the scenario counters. Returns the
+/// delivery instant so request/response pairs can chain the response
+/// leg off the request's arrival.
 #[allow(clippy::too_many_arguments)]
 fn send_authorized(
     w: &mut World,
@@ -540,7 +732,7 @@ fn send_authorized(
     vni: Vni,
     size: u64,
     tc: TrafficClass,
-) {
+) -> Option<SimTime> {
     w.msg_id += 1;
     let id = w.msg_id;
     let Cluster { nodes, fabric, .. } = &mut w.cluster;
@@ -548,7 +740,7 @@ fn send_authorized(
     // The member check every RDMA application passes once at startup.
     if sn.inner.device.driver.find_service(&sn.inner.host, src.pid, vni).is_err() {
         w.m.auth_failures += 1;
-        return;
+        return None;
     }
     w.m.authorized_sends += 1;
     w.m.class[tc.index()].sends += 1;
@@ -568,23 +760,38 @@ fn send_authorized(
                 agg.lat_sum_ns += lat;
                 agg.lat_max_ns = agg.lat_max_ns.max(lat);
             }
+            Some(arrival)
         }
         TransferOutcome::Dropped(_) => {
             w.m.dropped += 1;
             w.m.class[tc.index()].dropped += 1;
             w.m.per_job[ji].dropped += 1;
+            None
         }
     }
 }
 
 /// The first *other* job currently decorated with a different,
-/// non-global VNI — the adversarial probe target.
+/// non-global VNI — the adversarial probe target. Falls back to a
+/// service VNI, so jobs and services probe each other's isolation.
 fn pick_foreign(w: &World, ji: usize, own: Vni) -> Option<Vni> {
-    w.jobs.iter().enumerate().find_map(|(k, t)| {
-        if k == ji {
-            return None;
-        }
-        let v = resolve_vni(&w.cluster, &t.plan)?;
+    w.jobs
+        .iter()
+        .enumerate()
+        .find_map(|(k, t)| {
+            if k == ji {
+                return None;
+            }
+            let v = resolve_vni(&w.cluster, &t.plan)?;
+            (v != own && v != Vni::GLOBAL).then_some(v)
+        })
+        .or_else(|| pick_foreign_service(w, own))
+}
+
+/// The first service decorated with a different, non-global VNI.
+fn pick_foreign_service(w: &World, own: Vni) -> Option<Vni> {
+    w.services.iter().find_map(|t| {
+        let v = resolve_service_vni(&w.cluster, &t.plan)?;
         (v != own && v != Vni::GLOBAL).then_some(v)
     })
 }
@@ -667,6 +874,23 @@ fn traffic_round(sim: &mut Sim<World>, ji: usize) {
                                 }
                             }
                         }
+                        TrafficPattern::RequestResponse => {
+                            for i in 0..handles.len() {
+                                let dst = handles[(i + 1) % handles.len()];
+                                for _ in 0..tp.burst.max(1) {
+                                    // The response leg departs when the
+                                    // request arrives, like a real RPC.
+                                    if let Some(arrival) = send_authorized(
+                                        w, now, ji, handles[i], dst, vni, tp.size, tp.tc,
+                                    ) {
+                                        send_authorized(
+                                            w, arrival, ji, dst, handles[i], vni, tp.size,
+                                            tp.tc,
+                                        );
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 if let Some(foreign) = pick_foreign(w, ji, vni) {
@@ -740,6 +964,118 @@ fn drain_ev(sim: &mut Sim<World>, node_idx: usize) {
     w.drained.push((node_idx, now));
 }
 
+/// One TSoR-style round trip: authenticate both replicas against the
+/// service VNI, push the request leg, then the response leg dispatched
+/// at the request's arrival instant; the latency sample is the full
+/// round trip in virtual time.
+fn service_request(w: &mut World, now: SimTime, si: usize, src: PodHandle, dst: PodHandle, vni: Vni) {
+    w.msg_id += 1;
+    let req_id = w.msg_id;
+    w.msg_id += 1;
+    let resp_id = w.msg_id;
+    let World { cluster, services, .. } = w;
+    let t = &mut services[si];
+    let (tc, req, resp) = (t.plan.tc, t.plan.request_bytes, t.plan.response_bytes);
+    t.requests += 1;
+    let Cluster { nodes, fabric, .. } = cluster;
+    // Both ends hold an RDMA endpoint: the client authenticates to send
+    // the request, the server to send the response.
+    for h in [src, dst] {
+        let n = &nodes[h.node_idx];
+        if n.inner.device.driver.find_service(&n.inner.host, h.pid, vni).is_err() {
+            t.auth_failures += 1;
+            return;
+        }
+    }
+    let src_nic = nodes[src.node_idx].inner.nic;
+    let dst_nic = nodes[dst.node_idx].inner.nic;
+    let TransferOutcome::Delivered { arrival, .. } =
+        fabric.transfer(now, src_nic, dst_nic, vni, tc, req, req_id)
+    else {
+        t.dropped += 1;
+        return;
+    };
+    match fabric.transfer(arrival, dst_nic, src_nic, vni, tc, resp, resp_id) {
+        TransferOutcome::Delivered { arrival: done, .. } => {
+            t.completed += 1;
+            t.payload_bytes += req + resp;
+            t.latencies.push((done - now).as_nanos());
+        }
+        TransferOutcome::Dropped(_) => t.dropped += 1,
+    }
+}
+
+/// One open-loop generator fire: compute the demand (baseline + burst
+/// window), drive the autoscaler, then round-robin the requests over
+/// the PLEG-cached ready replica list, plus one adversarial cross-VNI
+/// probe per fire.
+fn service_fire(w: &mut World, now: SimTime, si: usize) {
+    let plan = w.services[si].plan.clone();
+    let mut demand = plan.requests_per_fire;
+    if let Some(b) = &plan.burst {
+        if now >= b.from && now < b.until {
+            demand += b.extra;
+        }
+    }
+    if let Some(a) = &plan.autoscale {
+        let desired = demand.div_ceil(a.per_replica.max(1)).clamp(plan.replicas, a.max_replicas);
+        if w.services[si].desired != desired {
+            w.services[si].desired = desired;
+            w.cluster.scale_service(&plan.tenant, &plan.name, desired);
+        }
+    }
+    let vni = resolve_service_vni(&w.cluster, &plan);
+    let ready = w.cluster.service_ready(&plan.tenant, &plan.name);
+    let handles: Vec<PodHandle> =
+        ready.iter().filter_map(|p| w.cluster.pod_handle(&plan.tenant, p)).collect();
+    let (Some(vni), true) = (vni, handles.len() >= 2) else {
+        w.services[si].skipped_fires += 1;
+        return;
+    };
+    w.services[si].fires += 1;
+    w.services[si].vni_seen = Some(vni);
+    let n = handles.len();
+    let mut rr = w.services[si].rr;
+    for _ in 0..demand {
+        let (src, dst) = (handles[rr % n], handles[(rr + 1) % n]);
+        rr += 1;
+        service_request(w, now, si, src, dst, vni);
+    }
+    w.services[si].rr = rr % n;
+    // Jobs probe service VNIs and vice versa — isolation is adversarial
+    // in both directions.
+    let foreign = w
+        .jobs
+        .iter()
+        .find_map(|t| {
+            let v = resolve_vni(&w.cluster, &t.plan)?;
+            (v != vni && v != Vni::GLOBAL).then_some(v)
+        })
+        .or_else(|| pick_foreign_service(w, vni));
+    if let Some(foreign) = foreign {
+        probe_cross(w, now, handles[0], foreign, plan.tc);
+    }
+}
+
+/// The self-rescheduling generator event behind [`ServicePlan`]'s
+/// open-loop arrivals.
+fn service_round(sim: &mut Sim<World>, si: usize) {
+    let now = sim.now();
+    let w = &mut sim.world;
+    let (interval, delete_at) = {
+        let p = &w.services[si].plan;
+        (p.request_interval, p.delete_at)
+    };
+    let past_delete = delete_at.is_some_and(|d| now >= d);
+    if !past_delete {
+        service_fire(w, now, si);
+    }
+    let horizon = w.horizon;
+    if !past_delete && now + interval <= horizon {
+        sim.after(interval, move |s| service_round(s, si));
+    }
+}
+
 /// Execute a scenario end to end; never panics on isolation failures —
 /// they are reported in the returned [`ScenarioReport`].
 pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
@@ -756,6 +1092,27 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
                 started_at: None,
                 rounds_done: 0,
                 vni_seen: None,
+            })
+            .collect(),
+        services: scenario
+            .services
+            .iter()
+            .map(|p| ServiceTrack {
+                plan: p.clone(),
+                vni_seen: None,
+                latencies: Vec::new(),
+                fires: 0,
+                skipped_fires: 0,
+                requests: 0,
+                completed: 0,
+                dropped: 0,
+                auth_failures: 0,
+                payload_bytes: 0,
+                rr: 0,
+                desired: p.replicas,
+                full_ready_seen: false,
+                min_ready: u64::MAX,
+                max_ready: 0,
             })
             .collect(),
         m: Raw {
@@ -803,6 +1160,33 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         if let Some(at) = plan.delete_at {
             let (ns, name) = (plan.tenant.clone(), plan.name.clone());
             sim.at(at, move |s| s.world.cluster.delete_job(&ns, &name));
+        }
+    }
+    for (si, plan) in scenario.services.iter().enumerate() {
+        let p = plan.clone();
+        sim.at(plan.arrival, move |s| {
+            let now = s.now();
+            let ann = annotations(&p.vni);
+            let ann_refs: Vec<(&str, &str)> =
+                ann.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            s.world.cluster.submit_service(
+                now,
+                &p.tenant,
+                &p.name,
+                &ann_refs,
+                p.replicas,
+                &alpine(),
+                p.pin_nodes.as_deref(),
+            );
+            s.after(p.request_interval, move |s2| service_round(s2, si));
+        });
+        if let Some(at) = plan.update_at {
+            let (ns, name) = (plan.tenant.clone(), plan.name.clone());
+            sim.at(at, move |s| s.world.cluster.roll_service(&ns, &name));
+        }
+        if let Some(at) = plan.delete_at {
+            let (ns, name) = (plan.tenant.clone(), plan.name.clone());
+            sim.at(at, move |s| s.world.cluster.delete_service(&ns, &name));
         }
     }
     for fault in &scenario.faults {
@@ -1022,6 +1406,50 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
         Vec::new()
     };
 
+    // Serving-plane slice: per-service request/response outcomes, the
+    // p99-vs-SLO verdict, and the availability floor observed while the
+    // service was live (empty for job-only scenarios).
+    let services: Vec<ServiceReport> = w
+        .services
+        .iter_mut()
+        .map(|t| {
+            t.latencies.sort_unstable();
+            // Nearest-rank percentile: ceil(q·n/100)ᵗʰ smallest sample.
+            let pct = |q: u64| -> u64 {
+                if t.latencies.is_empty() {
+                    return 0;
+                }
+                let rank = (t.latencies.len() as u64 * q).div_ceil(100).max(1);
+                t.latencies[rank as usize - 1]
+            };
+            let (p50, p99) = (pct(50), pct(99));
+            let max = t.latencies.last().copied().unwrap_or(0);
+            let floor = u64::from(t.plan.replicas.saturating_sub(1));
+            let min_ready = if t.full_ready_seen { t.min_ready } else { 0 };
+            ServiceReport {
+                service: format!("{}/{}", t.plan.tenant, t.plan.name),
+                replicas: u64::from(t.plan.replicas),
+                vni: t.vni_seen.map(|v| v.0),
+                fires: t.fires,
+                skipped_fires: t.skipped_fires,
+                requests: t.requests,
+                completed: t.completed,
+                dropped: t.dropped,
+                auth_failures: t.auth_failures,
+                payload_bytes: t.payload_bytes,
+                p50_latency_ns: p50,
+                p99_latency_ns: p99,
+                max_latency_ns: max,
+                slo_p99_ns: t.plan.slo_p99.as_nanos(),
+                slo_met: t.completed > 0 && p99 <= t.plan.slo_p99.as_nanos(),
+                min_ready,
+                max_ready: t.max_ready,
+                ready_floor: floor,
+                floor_held: t.full_ready_seen && min_ready >= floor,
+            }
+        })
+        .collect();
+
     let fabric_totals = w.cluster.fabric.traffic_totals();
     let traffic_expected =
         scenario.jobs.iter().any(|j| j.traffic.is_some() && j.ranks >= 2);
@@ -1066,6 +1494,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
             txn_count,
         },
         kubelet,
+        services,
         isolation: iso,
         passed: false,
     };
@@ -1152,6 +1581,7 @@ pub fn steady_state(seed: u64) -> Scenario {
             delete_at: Some(ms(31_000)),
         }],
         jobs,
+        services: vec![],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1182,6 +1612,7 @@ pub fn churn(seed: u64) -> Scenario {
         config: ClusterConfig { seed, ..Default::default() },
         claims: vec![],
         jobs,
+        services: vec![],
         faults: vec![],
         horizon: ms(60_000),
         tick: SimDur::from_millis(20),
@@ -1214,6 +1645,7 @@ pub fn quarantine_pressure(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs,
+        services: vec![],
         faults: vec![],
         horizon: ms(100_000),
         tick: SimDur::from_millis(20),
@@ -1244,6 +1676,7 @@ pub fn node_drain(seed: u64) -> Scenario {
         config: ClusterConfig { seed, nodes: 3, ..Default::default() },
         claims: vec![],
         jobs,
+        services: vec![],
         faults: vec![Fault::DrainNode { node: 0, at: ms(10_000) }],
         horizon: ms(55_000),
         tick: SimDur::from_millis(20),
@@ -1278,6 +1711,7 @@ pub fn oversubscribed(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs,
+        services: vec![],
         faults: vec![],
         horizon: ms(110_000),
         tick: SimDur::from_millis(20),
@@ -1329,6 +1763,7 @@ pub fn noisy_neighbor(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![noisy, victim],
+        services: vec![],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1373,6 +1808,7 @@ pub fn incast(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![sink, probe],
+        services: vec![],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1432,6 +1868,7 @@ pub fn collective_noisy_neighbor(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![coll, noisy],
+        services: vec![],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1484,6 +1921,7 @@ pub fn cross_group_allreduce(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![skewed, packed],
+        services: vec![],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1528,6 +1966,7 @@ pub fn trunk_cut_allreduce(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![coll],
+        services: vec![],
         faults: vec![Fault::LinkDown { at: ms(5_000), a: 0, b: 1 }],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1582,6 +2021,7 @@ pub fn flapping_link_incast(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![sink, probe],
+        services: vec![],
         faults: vec![
             Fault::LinkDown { at: ms(3_000), a: 0, b: 1 },
             Fault::LinkUp { at: ms(6_000), a: 0, b: 1 },
@@ -1645,6 +2085,173 @@ pub fn adaptive_incast(seed: u64) -> Scenario {
         },
         claims: vec![],
         jobs: vec![sink, probe],
+        services: vec![],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// A latency-sensitive microservice mesh sharing the 2-group trunk with
+/// an 8-rank HPC allreduce: the service's request/response round trips
+/// ride the low-latency WRR class while the collective saturates the
+/// dedicated class, and the service's p99 must stay under its SLO with
+/// isolation asserted adversarially in both directions.
+pub fn service_mesh_allreduce(seed: u64) -> Scenario {
+    // 10 nodes round-robined over 2 groups: the collective's 8 ranks pin
+    // to nodes 0-7 (every ring hop crosses the trunk), the mesh's 4
+    // replicas to the leftover nodes 8/9 — one per group, so about half
+    // its request round trips cross the same contended trunk.
+    let mut coll = job("hpc", "allreduce", 8, 500, VniMode::Dedicated);
+    coll.delete_at = Some(ms(30_000));
+    coll.pin_nodes = Some((0..8).collect());
+    coll.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 16,
+        tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    let mesh = ServicePlan {
+        tenant: "mesh".into(),
+        name: "frontend".into(),
+        replicas: 4,
+        arrival: ms(500),
+        vni: VniMode::Dedicated,
+        tc: TrafficClass::LowLatency,
+        request_interval: SimDur::from_millis(200),
+        requests_per_fire: 4,
+        request_bytes: 2048,
+        response_bytes: 4096,
+        slo_p99: SimDur::from_micros(500),
+        update_at: None,
+        delete_at: Some(ms(40_000)),
+        burst: None,
+        autoscale: None,
+        pin_nodes: Some(vec![8, 9]),
+    };
+    Scenario {
+        name: "service-mesh-allreduce".into(),
+        description: "4-replica microservice mesh rides the low-latency class across the \
+                      trunk an 8-rank allreduce saturates; the mesh p99 must hold its SLO \
+                      and both tenants probe each other's VNI"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 10,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![coll],
+        services: vec![mesh],
+        faults: vec![],
+        horizon: ms(45_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// A serving tenant under a demand spike: the deterministic autoscaler
+/// must grow the replica set to absorb the burst (surge-bounded rollout
+/// of new pods through the full scheduler/kubelet/CNI/VNI chain), then
+/// shrink back to baseline — all while the p99 SLO and the availability
+/// floor hold.
+pub fn autoscale_burst(seed: u64) -> Scenario {
+    // A quiet second tenant holding its own VNI, so the service's
+    // per-fire adversarial probe has a foreign VNI to attack.
+    let mut bg = job("batch", "bg", 1, 1_000, VniMode::Dedicated);
+    bg.delete_at = Some(ms(42_000));
+    let api = ServicePlan {
+        tenant: "web".into(),
+        name: "api".into(),
+        replicas: 2,
+        arrival: ms(500),
+        vni: VniMode::Dedicated,
+        tc: TrafficClass::LowLatency,
+        request_interval: SimDur::from_millis(250),
+        requests_per_fire: 4,
+        request_bytes: 1024,
+        response_bytes: 2048,
+        slo_p99: SimDur::from_micros(200),
+        update_at: None,
+        delete_at: Some(ms(40_000)),
+        // 10s-20s: demand jumps 4 → 28 requests per fire, which drives
+        // the autoscaler to its 6-replica ceiling until the spike ends.
+        burst: Some(BurstPlan { from: ms(10_000), until: ms(20_000), extra: 24 }),
+        autoscale: Some(AutoscalePlan { per_replica: 4, max_replicas: 6 }),
+        pin_nodes: None,
+    };
+    Scenario {
+        name: "autoscale-burst".into(),
+        description: "open-loop demand spike drives the service from 2 to 6 replicas and \
+                      back; admission rides the full scheduler/kubelet/CNI/VNI chain and \
+                      the p99 SLO must hold throughout"
+            .into(),
+        config: ClusterConfig { seed, nodes: 4, ..Default::default() },
+        claims: vec![],
+        jobs: vec![bg],
+        services: vec![api],
+        faults: vec![],
+        horizon: ms(50_000),
+        tick: SimDur::from_millis(20),
+    }
+}
+
+/// The serving-plane acceptance scenario: a rolling update of the
+/// service **while** an 8-rank allreduce crosses the same trunk. The
+/// roll must respect `maxUnavailable`/`maxSurge` in virtual time (the
+/// ready count never dips below the floor), the service p99 must stay
+/// under SLO while replicas are replaced, and the collective must
+/// complete with zero drops.
+pub fn rolling_update_allreduce(seed: u64) -> Scenario {
+    let mut coll = job("hpc", "ring", 8, 500, VniMode::Dedicated);
+    coll.delete_at = Some(ms(30_000));
+    coll.pin_nodes = Some((0..8).collect());
+    coll.traffic = Some(TrafficPlan {
+        rounds: 10,
+        interval: SimDur::from_millis(1_000),
+        size: 1 << 16,
+        tc: TrafficClass::Dedicated,
+        burst: 1,
+        pattern: TrafficPattern::Allreduce,
+    });
+    let web = ServicePlan {
+        tenant: "web".into(),
+        name: "frontend".into(),
+        replicas: 4,
+        arrival: ms(500),
+        vni: VniMode::Dedicated,
+        tc: TrafficClass::LowLatency,
+        request_interval: SimDur::from_millis(200),
+        requests_per_fire: 4,
+        request_bytes: 2048,
+        response_bytes: 4096,
+        slo_p99: SimDur::from_micros(500),
+        // The template revision bumps at 10s, squarely inside the
+        // collective's traffic window: replicas roll one at a time
+        // (surge 1 / maxUnavailable 1) while both tenants keep sending.
+        update_at: Some(ms(10_000)),
+        delete_at: Some(ms(40_000)),
+        burst: None,
+        autoscale: None,
+        pin_nodes: Some(vec![8, 9]),
+    };
+    Scenario {
+        name: "rolling-update-allreduce".into(),
+        description: "surge-bounded rolling update of a 4-replica service while an 8-rank \
+                      allreduce saturates the shared trunk; the ready floor, the service \
+                      p99 SLO and the collective's zero-drop run must all hold"
+            .into(),
+        config: ClusterConfig {
+            seed,
+            nodes: 10,
+            topology: Some(two_group_topology()),
+            ..Default::default()
+        },
+        claims: vec![],
+        jobs: vec![coll],
+        services: vec![web],
         faults: vec![],
         horizon: ms(45_000),
         tick: SimDur::from_millis(20),
@@ -1666,6 +2273,9 @@ pub fn library(seed: u64) -> Vec<Scenario> {
         trunk_cut_allreduce(seed),
         flapping_link_incast(seed),
         adaptive_incast(seed),
+        service_mesh_allreduce(seed),
+        autoscale_burst(seed),
+        rolling_update_allreduce(seed),
     ]
 }
 
@@ -1852,6 +2462,7 @@ mod tests {
             config: ClusterConfig { seed: 11, ..Default::default() },
             claims: vec![],
             jobs: vec![a, b],
+            services: vec![],
             faults: vec![],
             horizon: ms(12_000),
             tick: SimDur::from_millis(20),
@@ -1883,12 +2494,12 @@ mod tests {
     }
 
     #[test]
-    fn library_has_twelve_distinct_scenarios() {
+    fn library_has_fifteen_distinct_scenarios() {
         let lib = library(1);
-        assert_eq!(lib.len(), 12);
+        assert_eq!(lib.len(), 15);
         let names: std::collections::BTreeSet<_> =
             lib.iter().map(|s| s.name.clone()).collect();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 15);
         assert!(by_name("churn", 1).is_some());
         assert!(by_name("noisy-neighbor", 1).is_some());
         assert!(by_name("incast", 1).is_some());
@@ -1897,6 +2508,84 @@ mod tests {
         assert!(by_name("trunk-cut-allreduce", 1).is_some());
         assert!(by_name("flapping-link-incast", 1).is_some());
         assert!(by_name("adaptive-incast", 1).is_some());
+        assert!(by_name("service-mesh-allreduce", 1).is_some());
+        assert!(by_name("autoscale-burst", 1).is_some());
+        assert!(by_name("rolling-update-allreduce", 1).is_some());
         assert!(by_name("nope", 1).is_none());
+    }
+
+    /// A 2-replica service carrying request/response traffic on a
+    /// single switch: round trips complete, latency samples accrue, and
+    /// the report carries the serving-plane section.
+    fn tiny_service() -> Scenario {
+        let svc = ServicePlan {
+            tenant: "svc".into(),
+            name: "echo".into(),
+            replicas: 2,
+            arrival: ms(500),
+            vni: VniMode::Dedicated,
+            tc: TrafficClass::LowLatency,
+            request_interval: SimDur::from_millis(250),
+            requests_per_fire: 2,
+            request_bytes: 512,
+            response_bytes: 1024,
+            slo_p99: SimDur::from_micros(200),
+            update_at: None,
+            delete_at: Some(ms(8_000)),
+            burst: None,
+            autoscale: None,
+            pin_nodes: None,
+        };
+        Scenario {
+            name: "tiny-service".into(),
+            description: "one 2-replica request/response service".into(),
+            config: ClusterConfig { seed: 7, ..Default::default() },
+            claims: vec![],
+            jobs: vec![],
+            services: vec![svc],
+            faults: vec![],
+            horizon: ms(12_000),
+            tick: SimDur::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn tiny_service_scenario_serves_and_unwinds_clean() {
+        let r = run_scenario(&tiny_service());
+        assert_eq!(r.services.len(), 1);
+        let s = &r.services[0];
+        assert_eq!(s.service, "svc/echo");
+        assert!(s.completed > 0, "round trips completed: {s:?}");
+        assert_eq!(s.auth_failures, 0);
+        assert!(s.slo_met, "p99 {} vs slo {}", s.p99_latency_ns, s.slo_p99_ns);
+        assert!(s.floor_held, "min_ready {} floor {}", s.min_ready, s.ready_floor);
+        assert_eq!(r.vni.allocated_at_end, 0, "service VNI released at teardown");
+        assert!(r.passed, "report: {r:?}");
+        // The serving-plane section serializes; job-only reports omit it
+        // (pinned by tests/report_identity.rs against committed fixtures).
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"services\""));
+    }
+
+    #[test]
+    fn tiny_service_scenario_is_deterministic() {
+        let a = run_scenario(&tiny_service());
+        let b = run_scenario(&tiny_service());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_response_pattern_completes_round_trips() {
+        let mut s = tiny();
+        for j in &mut s.jobs {
+            if let Some(tp) = &mut j.traffic {
+                tp.pattern = TrafficPattern::RequestResponse;
+            }
+        }
+        let r = run_scenario(&s);
+        // Each ring slot issues a request and a response leg.
+        assert!(r.traffic.delivered > 0);
+        assert_eq!(r.traffic.delivered % 2, 0, "paired legs: {r:?}");
+        assert!(r.passed, "report: {r:?}");
     }
 }

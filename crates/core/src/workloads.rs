@@ -17,6 +17,7 @@ use shs_fabric::{
     CostModel, Fabric, NicAddr, RoutingPolicy, SwitchId, TopologySpec, TrafficClass,
     TransferOutcome, Vni,
 };
+use shs_k8s::{kinds, ApiObject, ApiServer, Pleg, PodPhase};
 
 use crate::sharded_db::ShardedVniDb;
 use crate::vni_db::{VniDb, VniDbConfig, VniOwner};
@@ -249,6 +250,168 @@ impl Default for FabricAdaptiveHotWorkload {
     }
 }
 
+/// The serving-plane data path behind the `service_mesh_hot` bench row:
+/// TSoR-style request/response round trips between
+/// [`ServiceMeshHotWorkload::REPLICAS`] replica NICs spread over the
+/// same 3-group dragonfly as [`FabricTransferHotWorkload`]. Each step
+/// is the two-leg RPC the scenario engine's
+/// [`TrafficPattern::RequestResponse`] issues: the request transfers at
+/// `now`, the response departs at the request's arrival instant, and
+/// the step returns the round-trip latency — so the row times routing,
+/// edge-link reservation and the low-latency trunk class twice per op,
+/// plus the virtual-time composition of the two legs.
+///
+/// [`TrafficPattern::RequestResponse`]:
+///     crate::scenario::TrafficPattern::RequestResponse
+#[derive(Debug)]
+pub struct ServiceMeshHotWorkload {
+    fabric: Fabric,
+    now: SimTime,
+    i: u64,
+}
+
+impl ServiceMeshHotWorkload {
+    /// Replica NICs attached round-robin across the six switches.
+    pub const REPLICAS: u32 = 8;
+
+    /// Request payload bytes (one MTU).
+    pub const REQUEST: u64 = 2048;
+
+    /// Response payload bytes (two MTUs).
+    pub const RESPONSE: u64 = 4096;
+
+    /// Fresh fabric with every replica granted the service VNI.
+    pub fn new() -> Self {
+        let spec = TopologySpec { groups: 3, switches_per_group: 2, edge_ports: 4 };
+        let mut fabric =
+            Fabric::with_topology(CostModel::default(), spec, RoutingPolicy::Minimal);
+        let switches = spec.total_switches();
+        for i in 0..Self::REPLICAS {
+            let nic = NicAddr(i + 1);
+            fabric.attach_to(nic, SwitchId(i as usize % switches));
+            fabric.grant_vni(nic, Vni(9)).expect("just attached");
+        }
+        ServiceMeshHotWorkload { fabric, now: SimTime::ZERO, i: 0 }
+    }
+
+    /// One request/response round trip between the next round-robin
+    /// replica pair; `Some(round_trip_ns)` when both legs delivered.
+    pub fn step(&mut self) -> Option<u64> {
+        let n = u64::from(Self::REPLICAS);
+        let src = NicAddr((self.i % n) as u32 + 1);
+        let dst = NicAddr(((self.i + 1) % n) as u32 + 1);
+        self.now += SimDur::from_micros(2);
+        self.i += 1;
+        let req = self.fabric.transfer(
+            self.now,
+            src,
+            dst,
+            Vni(9),
+            TrafficClass::LowLatency,
+            Self::REQUEST,
+            2 * self.i,
+        );
+        let TransferOutcome::Delivered { arrival, .. } = req else { return None };
+        let resp = self.fabric.transfer(
+            arrival,
+            dst,
+            src,
+            Vni(9),
+            TrafficClass::LowLatency,
+            Self::RESPONSE,
+            2 * self.i + 1,
+        );
+        let TransferOutcome::Delivered { arrival: done, .. } = resp else { return None };
+        Some((done - self.now).as_nanos())
+    }
+
+    /// The fabric under measurement (counter inspection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+impl Default for ServiceMeshHotWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The status-read pair behind the `pleg_status_read_*` /
+/// `pod_scan_status_read_*` bench rows: a cluster of `pods` Running
+/// pods spread over [`PlegStatusReadWorkload::GROUPS`] services, read
+/// either through the PLEG cache ([`cached_read`] — a per-phase counter
+/// lookup plus one group's ready count, O(1) in the pod count) or by
+/// the pre-PLEG full pod scan ([`scan_read`] — O(pods)). Benchmarked at
+/// 100 and 10,000 pods, the cached median must stay flat while the scan
+/// median grows linearly — the PR's O(1) acceptance criterion.
+///
+/// [`cached_read`]: PlegStatusReadWorkload::cached_read
+/// [`scan_read`]: PlegStatusReadWorkload::scan_read
+#[derive(Debug)]
+pub struct PlegStatusReadWorkload {
+    api: ApiServer,
+    pleg: Pleg,
+    groups: Vec<String>,
+    i: u64,
+}
+
+impl PlegStatusReadWorkload {
+    /// Service groups the pods are spread over.
+    pub const GROUPS: u64 = 8;
+
+    /// A settled cluster of `pods` Running pods, PLEG synced once.
+    pub fn new(pods: u64) -> Self {
+        let groups: Vec<String> = (0..Self::GROUPS).map(|g| format!("svc{g}")).collect();
+        let mut api = ApiServer::default();
+        for i in 0..pods {
+            let group = &groups[(i % Self::GROUPS) as usize];
+            let name = format!("{group}-{i}");
+            api.create(
+                ApiObject::new(
+                    kinds::POD,
+                    "bench",
+                    &name,
+                    serde_json::json!({"image": "x", "job_name": group}),
+                ),
+                SimTime::ZERO,
+            )
+            .expect("fresh pod name");
+            api.mutate(kinds::POD, "bench", &name, |o| {
+                o.status = serde_json::json!({"phase": "Running", "started_at_ns": i});
+            })
+            .expect("just created");
+        }
+        let mut pleg = Pleg::new();
+        pleg.sync(&api);
+        PlegStatusReadWorkload { api, pleg, groups, i: 0 }
+    }
+
+    /// One cached status read: the cluster-wide Running count plus the
+    /// next round-robin group's ready count — the reads `Cluster`
+    /// status queries issue every control-plane tick.
+    pub fn cached_read(&mut self) -> u64 {
+        let group = &self.groups[(self.i % Self::GROUPS) as usize];
+        self.i += 1;
+        self.pleg.count(PodPhase::Running) + self.pleg.ready_count("bench", group) as u64
+    }
+
+    /// The same answer computed the pre-PLEG way: a full pod scan.
+    pub fn scan_read(&mut self) -> u64 {
+        let group = &self.groups[(self.i % Self::GROUPS) as usize];
+        self.i += 1;
+        let snap = Pleg::scan(&self.api);
+        let ready =
+            snap.groups.get(&format!("bench/{group}")).map_or(0, |g| g.ready.len() as u64);
+        snap.phase_counts[1] + ready
+    }
+
+    /// Total pods in the cluster under measurement.
+    pub fn pod_count(&self) -> u64 {
+        self.pleg.pod_count()
+    }
+}
+
 /// The control-plane stress workload behind the `vni_stress` scenarios
 /// and bench rows: a rolling population of tenants churning through the
 /// widest legal VNI range (1024..65535) against a [`ShardedVniDb`] in
@@ -437,6 +600,48 @@ mod tests {
             w2.step();
         }
         assert_eq!(w2.fabric().traffic(Vni(7)), t);
+    }
+
+    #[test]
+    fn service_mesh_hot_round_trips_and_is_deterministic() {
+        let mut w = ServiceMeshHotWorkload::new();
+        let run = |w: &mut ServiceMeshHotWorkload| {
+            let mut completed = 0u64;
+            let mut total_ns = 0u64;
+            for _ in 0..200 {
+                if let Some(ns) = w.step() {
+                    completed += 1;
+                    total_ns += ns;
+                }
+            }
+            (completed, total_ns)
+        };
+        let (completed, total_ns) = run(&mut w);
+        assert!(completed > 150, "the mesh hot loop mostly completes: {completed}/200");
+        let t = w.fabric().traffic(Vni(9));
+        assert_eq!(t.messages, 2 * completed, "two delivered legs per round trip");
+        // The round trip is two one-way latencies: strictly above one
+        // unloaded hop, and the response leg really departed at the
+        // request's arrival (total round trips sum both legs).
+        assert!(total_ns / completed > w.fabric().unloaded_ns(64));
+        // Deterministic: a fresh workload replays the same outcomes.
+        let mut w2 = ServiceMeshHotWorkload::new();
+        assert_eq!(run(&mut w2), (completed, total_ns));
+    }
+
+    #[test]
+    fn pleg_status_reads_agree_with_the_full_scan_at_any_size() {
+        for pods in [100u64, 1_000] {
+            let mut cached = PlegStatusReadWorkload::new(pods);
+            let mut scanned = PlegStatusReadWorkload::new(pods);
+            assert_eq!(cached.pod_count(), pods);
+            // Same round-robin cursor on both sides: every cached answer
+            // must equal the O(pods) scan answer, across a full group
+            // rotation.
+            for _ in 0..2 * PlegStatusReadWorkload::GROUPS {
+                assert_eq!(cached.cached_read(), scanned.scan_read());
+            }
+        }
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! **byte-identical** JSON — the facade's global-minimum allocation and
 //! global audit sequencing guarantee it, and these tests pin the
 //! contract at the report level, where any divergence would reach users.
+//!
+//! The committed fixtures under `tests/fixtures/` additionally freeze
+//! every library report at seed 42: the twelve job-only reports were
+//! generated *before* the serving plane existed, so matching them today
+//! proves that merging Services/PLEG changed no byte of any pre-existing
+//! report (no new JSON fields, no counter drift).
 
-use slingshot_k8s::{by_name, run_scenario, run_vni_stress, VniStressScenario};
+use slingshot_k8s::{by_name, library, run_scenario, run_vni_stress, VniStressScenario};
 
 /// Full cluster scenarios through the DES engine: only
 /// `ClusterConfig::vni_shards` varies.
 #[test]
 fn scenario_reports_are_byte_identical_across_shard_counts() {
-    for name in ["quarantine-pressure", "churn"] {
+    for name in ["quarantine-pressure", "churn", "autoscale-burst", "rolling-update-allreduce"] {
         let render = |shards: usize| {
             let mut scenario = by_name(name, 42).expect("library scenario");
             scenario.config.vni_shards = shards;
@@ -20,6 +26,43 @@ fn scenario_reports_are_byte_identical_across_shard_counts() {
         let one = render(1);
         assert_eq!(one, render(2), "{name}: shards=2 diverged from shards=1");
         assert_eq!(one, render(4), "{name}: shards=4 diverged from shards=1");
+    }
+}
+
+/// Every library report at seed 42 must match its committed fixture
+/// byte for byte. The twelve job-only fixtures predate the serving
+/// plane, so this is the regression pin that services, the PLEG cache,
+/// and the service Metacontroller are invisible to scenarios that don't
+/// plan them; the three service fixtures freeze the serving-plane
+/// reports themselves.
+#[test]
+fn library_reports_match_their_committed_fixtures() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut seen = 0;
+    for scenario in library(42) {
+        let expected = std::fs::read_to_string(dir.join(format!("{}.json", scenario.name)))
+            .unwrap_or_else(|e| panic!("fixture for {}: {e}", scenario.name));
+        let got = serde_json::to_string_pretty(&run_scenario(&scenario)).expect("serializes") + "\n";
+        assert_eq!(got, expected, "{} diverged from its committed fixture", scenario.name);
+        seen += 1;
+    }
+    assert_eq!(seen, 15, "every library scenario has a fixture");
+}
+
+/// Job-only scenarios must not grow a `services` key (the serde
+/// skip-if-empty contract the fixture pin depends on), and the three
+/// serving-plane scenarios must carry one.
+#[test]
+fn services_section_appears_only_when_planned() {
+    for scenario in library(42) {
+        let has_services = !scenario.services.is_empty();
+        let json = serde_json::to_string(&run_scenario(&scenario)).expect("serializes");
+        assert_eq!(
+            json.contains("\"services\""),
+            has_services,
+            "{}: services key presence mismatch",
+            scenario.name
+        );
     }
 }
 

@@ -44,7 +44,19 @@
 //!   entry records its `device_bytes` so the bound is visible;
 //! * `osu_allreduce` — one 8-rank, 64 KiB ring allreduce over a 2-group
 //!   dragonfly (every hop crossing the group trunk), the collective
-//!   hot path of the `shs_mpi::Communicator`.
+//!   hot path of the `shs_mpi::Communicator`;
+//! * `service_mesh_hot` — one TSoR-style request/response round trip
+//!   per op between 8 replica NICs on the 3-group dragonfly (the
+//!   response leg departs at the request's arrival instant), the
+//!   serving-plane data path;
+//! * `pleg_status_read_100` / `pleg_status_read_10k` — one PLEG-cached
+//!   cluster status read (Running count + one group's ready count) at
+//!   100 vs 10,000 pods. The pair is the serving plane's O(1)
+//!   acceptance record: the cached median must stay flat across the
+//!   100× pod-count step while the `pod_scan_status_read_*` pair — the
+//!   same answer computed by the pre-PLEG full pod scan — grows
+//!   linearly; the emitted `"pleg_status_reads"` block records both
+//!   ratios.
 //!
 //! Scenarios (`churn`, `steady-state`) run once under the DES clock;
 //! their event counts are deterministic, their wall-clock is not.
@@ -81,7 +93,8 @@ use shs_vnistore::{SimDisk, Store, StoreConfig};
 use slingshot_k8s::{
     by_name, parallel_by_name, run_fabric_scenario, run_scenario, run_vni_stress,
     AcquireReleaseWorkload, ChurnHotWorkload, FabricAdaptiveHotWorkload, FabricSweepReport,
-    FabricTransferHotWorkload, VniDb, VniStressReport, VniStressScenario,
+    FabricTransferHotWorkload, PlegStatusReadWorkload, ServiceMeshHotWorkload, VniDb,
+    VniStressReport, VniStressScenario,
 };
 
 /// The parallel scaling-curve subject: the 1024-node library sweep.
@@ -311,6 +324,51 @@ fn bench_osu_allreduce(samples: usize, iters: u64) -> f64 {
     med
 }
 
+/// One request/response round trip per op — the serving-plane data path
+/// timed by the `service_mesh_hot` Criterion target (see
+/// `slingshot_k8s::workloads::ServiceMeshHotWorkload`).
+fn bench_service_mesh_hot(samples: usize, iters: u64) -> f64 {
+    let mut w = ServiceMeshHotWorkload::new();
+    measure(samples, iters, || {
+        w.step();
+    })
+}
+
+/// One PLEG-cached cluster status read per op over a settled `pods`-pod
+/// cluster (see `slingshot_k8s::workloads::PlegStatusReadWorkload`).
+fn bench_pleg_status_read(samples: usize, iters: u64, pods: u64) -> f64 {
+    let mut w = PlegStatusReadWorkload::new(pods);
+    measure(samples, iters, || {
+        w.cached_read();
+    })
+}
+
+/// The same status read computed by a full pod scan — the pre-PLEG read
+/// path kept as the linear-growth contrast row.
+fn bench_pod_scan_status_read(samples: usize, iters: u64, pods: u64) -> f64 {
+    let mut w = PlegStatusReadWorkload::new(pods);
+    measure(samples, iters, || {
+        w.scan_read();
+    })
+}
+
+/// `"pleg_status_read_<N>"` / `"pod_scan_status_read_<N>"` → (cached?,
+/// pods) for the gate re-measure arm (`"10k"` → 10,000).
+fn status_read_pods(name: &str) -> Option<(bool, u64)> {
+    let (cached, rest) = if let Some(r) = name.strip_prefix("pleg_status_read_") {
+        (true, r)
+    } else if let Some(r) = name.strip_prefix("pod_scan_status_read_") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let pods = match rest.strip_suffix('k') {
+        Some(thousands) => thousands.parse::<u64>().ok()? * 1_000,
+        None => rest.parse::<u64>().ok()?,
+    };
+    Some((cached, pods))
+}
+
 fn bench_store_commit(samples: usize, iters: u64) -> f64 {
     let mut store = Store::new(StoreConfig { snapshot_every: None, ..Default::default() });
     let mut i = 0u64;
@@ -498,6 +556,7 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
         "fabric_transfer_hot" => (bench_fabric_transfer_hot(b.samples, b.store_iters), None),
         "fabric_adaptive_hot" => (bench_fabric_adaptive_hot(b.samples, b.store_iters), None),
         "osu_allreduce" => (bench_osu_allreduce(b.samples, b.churn_iters), None),
+        "service_mesh_hot" => (bench_service_mesh_hot(b.samples, b.store_iters), None),
         "churn" | "steady-state" => {
             let (events, wall_s) = run_scenario_timed(name);
             (events as f64 / wall_s, Some(wall_s * 1e3))
@@ -506,6 +565,13 @@ fn remeasure(name: &str, b: &Budgets) -> Option<(f64, Option<f64>)> {
             if let Some(history) = recover_row_history(name) {
                 let disk = churned_disk(history);
                 (bench_store_recover(b.samples, b.churn_iters, &disk), None)
+            } else if let Some((cached, pods)) = status_read_pods(name) {
+                let med = if cached {
+                    bench_pleg_status_read(b.samples, b.store_iters, pods)
+                } else {
+                    bench_pod_scan_status_read(b.samples, b.churn_iters, pods)
+                };
+                (med, None)
             } else if let Some(shards) = stress_row_shards(name) {
                 let (report, wall_s) = run_stress_timed(shards, STRESS_OPS);
                 (report.ops as f64 / wall_s, Some(wall_s * 1e3))
@@ -616,6 +682,14 @@ fn main() {
     eprintln!("bench-run: timing osu_allreduce ...");
     let allreduce_iters = churn_iters;
     let allreduce = bench_osu_allreduce(samples, allreduce_iters);
+    eprintln!("bench-run: timing service_mesh_hot ...");
+    let mesh = bench_service_mesh_hot(samples, fabric_iters);
+    eprintln!("bench-run: timing pleg_status_read_100 / pleg_status_read_10k ...");
+    let pleg_100 = bench_pleg_status_read(samples, store_iters, 100);
+    let pleg_10k = bench_pleg_status_read(samples, store_iters, 10_000);
+    eprintln!("bench-run: timing pod_scan_status_read_100 / pod_scan_status_read_10k ...");
+    let scan_100 = bench_pod_scan_status_read(samples, churn_iters, 100);
+    let scan_10k = bench_pod_scan_status_read(samples, churn_iters, 10_000);
 
     let mut recover_10k_entry = bench_entry("store_recover_hist10k", recover_10k, samples, churn_iters);
     recover_10k_entry["device_bytes"] = json!(disk_10k.len());
@@ -633,6 +707,11 @@ fn main() {
         bench_entry("fabric_transfer_hot", fabric, samples, fabric_iters),
         bench_entry("fabric_adaptive_hot", fabric_adaptive, samples, fabric_iters),
         bench_entry("osu_allreduce", allreduce, samples, allreduce_iters),
+        bench_entry("service_mesh_hot", mesh, samples, fabric_iters),
+        bench_entry("pleg_status_read_100", pleg_100, samples, store_iters),
+        bench_entry("pleg_status_read_10k", pleg_10k, samples, store_iters),
+        bench_entry("pod_scan_status_read_100", scan_100, samples, churn_iters),
+        bench_entry("pod_scan_status_read_10k", scan_10k, samples, churn_iters),
     ];
 
     let mut scenarios = Vec::new();
@@ -742,6 +821,17 @@ fn main() {
         "scenarios": scenarios,
         "parallel": parallel,
         "control": control,
+        // The serving plane's O(1) acceptance record: the cached ratio
+        // across the 100× pod-count step must stay near 1.0 while the
+        // scan ratio tracks the pod count.
+        "pleg_status_reads": {
+            "cached_100_ns": round1(pleg_100),
+            "cached_10k_ns": round1(pleg_10k),
+            "cached_ratio_10k_vs_100": round3(pleg_10k / pleg_100),
+            "scan_100_ns": round1(scan_100),
+            "scan_10k_ns": round1(scan_10k),
+            "scan_ratio_10k_vs_100": round3(scan_10k / scan_100),
+        },
         "allocator_counters": allocator_counters(churn_workload.db()),
     });
     let text = serde_json::to_string_pretty(&doc).expect("serializes");

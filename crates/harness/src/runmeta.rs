@@ -147,6 +147,7 @@ mod tests {
                 traffic: None,
                 pin_nodes: None,
             }],
+            services: vec![],
             faults: vec![],
             horizon: shs_des::SimTime::from_nanos(3_000_000_000),
             tick: SimDur::from_millis(20),

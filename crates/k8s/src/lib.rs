@@ -3,7 +3,9 @@
 //! The Kubernetes subset the paper's integration plugs into: an API
 //! server with typed-by-kind dynamic objects, resource versions, watches,
 //! finalizers and cascading owner deletion ([`api`]); Jobs/Pods/Nodes
-//! ([`objects`]); a job controller ([`job`]); a topology-spread-aware
+//! ([`objects`]); a job controller ([`job`]); a service controller with
+//! rolling updates ([`service`]); a PLEG-style pod-lifecycle cache that
+//! keeps status reads O(1) ([`pleg`]); a topology-spread-aware
 //! scheduler ([`scheduler`]); a kubelet pod pipeline with bounded worker
 //! pools ([`kubelet`]); and a Metacontroller-style DecoratorController
 //! with `/sync` + `/finalize` webhook apply semantics
@@ -19,10 +21,13 @@ pub mod job;
 pub mod kubelet;
 pub mod metacontroller;
 pub mod objects;
+pub mod pleg;
 pub mod scheduler;
+pub mod service;
 
 pub use api::{ApiError, ApiObject, ApiParams, ApiServer, ObjectMeta, WatchEvent, WatchType};
 pub use job::{JobController, KUBELET_FINALIZER};
+pub use pleg::{GroupSnapshot, Pleg, PlegSnapshot};
 pub use kubelet::{CniAddOutcome, Kubelet, KubeletCounters, KubeletParams, NodeBackend};
 pub use metacontroller::{
     DecoratorConfig, DecoratorCounters, DecoratorHooks, FinalizeResponse, Metacontroller,
@@ -33,3 +38,7 @@ pub use objects::{
     PodSpec, PodStatus, PodTemplate, VNI_ANNOTATION,
 };
 pub use scheduler::{bound_node, Scheduler};
+pub use service::{
+    make_service, pod_ready, pod_revision, ServiceController, ServiceSpec, ServiceStatus,
+    REVISION_ANNOTATION,
+};

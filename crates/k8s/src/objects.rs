@@ -20,6 +20,8 @@ pub mod kinds {
     pub const VNI: &str = "Vni";
     /// The VNI Claim custom resource (paper CRD).
     pub const VNI_CLAIM: &str = "VniClaim";
+    /// Long-running replicated service (the serving plane).
+    pub const SERVICE: &str = "Service";
 }
 
 /// Pod template inside a job spec.

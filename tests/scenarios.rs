@@ -93,6 +93,38 @@ fn the_1024_node_scenario_completes_with_threads_1_and_4_byte_identical() {
 }
 
 #[test]
+fn service_scenario_reports_are_byte_identical_across_threads_and_shards() {
+    // The `scenario-run` contract for the three serving-plane
+    // scenarios: `--shards 1` and `--shards 2` must not move a byte
+    // (the sharded VNI facade preserves single-store allocation order),
+    // and `--threads` never reaches the k8s path at all — it only
+    // drives the fabric sweeps — so the same report must come back
+    // whether the scenario runs inline or on any of several concurrent
+    // workers (no ambient thread state may leak into the clock).
+    for name in ["service-mesh-allreduce", "autoscale-burst", "rolling-update-allreduce"] {
+        let render = |shards: usize| {
+            let mut s = slingshot_k8s::by_name(name, 42).expect("library scenario");
+            s.config.vni_shards = shards;
+            serde_json::to_string_pretty(&run_scenario(&s)).expect("serializes")
+        };
+        let base = render(1);
+        assert_eq!(base, render(2), "{name}: shards=2 diverged from shards=1");
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let name = name.to_string();
+                std::thread::spawn(move || {
+                    let s = slingshot_k8s::by_name(&name, 42).expect("library scenario");
+                    serde_json::to_string_pretty(&run_scenario(&s)).expect("serializes")
+                })
+            })
+            .collect();
+        for (i, w) in workers.into_iter().enumerate() {
+            assert_eq!(w.join().expect("worker"), base, "{name}: worker {i} diverged");
+        }
+    }
+}
+
+#[test]
 fn scenarios_exercise_their_designed_pressure() {
     let by: std::collections::BTreeMap<String, _> = library(42)
         .iter()
@@ -250,6 +282,63 @@ fn scenarios_exercise_their_designed_pressure() {
         "the outages must actually force reroutes"
     );
     assert!(fanin.delivered > 0, "bulk kept flowing through the flaps");
+
+    // The serving plane: TSoR request/response round trips ride the
+    // same fabric, WRR classes and per-tenant VNI accounting as the
+    // collectives, with adversarial probes in both directions.
+    let svc = |r: &slingshot_k8s::ScenarioReport, name: &str| {
+        r.services
+            .iter()
+            .find(|s| s.service == name)
+            .unwrap_or_else(|| panic!("{}: service {name} missing", r.scenario))
+            .clone()
+    };
+
+    let mesh = &by["service-mesh-allreduce"];
+    let frontend = svc(mesh, "mesh/frontend");
+    assert!(frontend.completed > 0, "round trips completed under the allreduce");
+    assert_eq!(frontend.auth_failures, 0);
+    assert!(
+        frontend.slo_met,
+        "mesh p99 {} ns must hold the {} ns SLO on the contended trunk",
+        frontend.p99_latency_ns,
+        frontend.slo_p99_ns
+    );
+    assert!(frontend.floor_held);
+    let coll = jt(mesh, "hpc/allreduce");
+    assert_eq!(coll.sends, coll.delivered, "the collective shares the trunk without loss");
+    assert!(mesh.isolation.cross_tenant_attempts > 0, "both tenants probed each other");
+    assert_eq!(mesh.isolation.cross_tenant_attempts, mesh.isolation.cross_tenant_denied);
+
+    let auto = &by["autoscale-burst"];
+    let api = svc(auto, "web/api");
+    assert_eq!(api.replicas, 2, "baseline from the plan");
+    assert_eq!(api.max_ready, 6, "the burst drove the autoscaler to its ceiling");
+    assert!(api.slo_met && api.floor_held);
+    assert_eq!(auto.vni.allocated_at_end, 0, "scale-down and deletion released every VNI");
+
+    // The PR's acceptance gate: the allreduce completes with zero
+    // drops and the service's p99 stays under SLO while replicas roll.
+    let roll = &by["rolling-update-allreduce"];
+    let ring = jt(roll, "hpc/ring");
+    assert_eq!(ring.sends, ring.delivered, "allreduce survives the roll with zero drops");
+    assert_eq!(ring.dropped, 0);
+    assert_eq!(ring.fabric_congestion_drops, 0);
+    let front = svc(roll, "web/frontend");
+    assert!(
+        front.slo_met,
+        "p99 {} ns must hold the {} ns SLO through the roll",
+        front.p99_latency_ns,
+        front.slo_p99_ns
+    );
+    assert!(
+        front.floor_held && front.min_ready >= front.ready_floor,
+        "ready floor broken mid-roll: min {} floor {}",
+        front.min_ready,
+        front.ready_floor
+    );
+    assert_eq!(front.ready_floor, 3, "replicas 4, maxUnavailable 1");
+    assert!(front.max_ready > front.replicas, "the surge replica was visible mid-roll");
 }
 
 #[test]
